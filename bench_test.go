@@ -1,0 +1,96 @@
+package tseries
+
+// The benchmark harness: one testing.B benchmark per experiment — every
+// table and figure of the paper. The benchmarks execute the full
+// simulation each iteration and report the *simulated* quantities
+// (MFLOPS, MB/s, seconds) as custom metrics, so `go test -bench . -benchmem`
+// regenerates the paper's numbers alongside host-side cost.
+
+import (
+	"testing"
+
+	"tseries/internal/core"
+)
+
+// benchExperiment runs one experiment per iteration and republishes its
+// metrics through the benchmark reporter.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		r, err := RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for k, v := range last.Metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkE1_NodePeakMFLOPS — §II: 16 MFLOPS peak per node.
+func BenchmarkE1_NodePeakMFLOPS(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2_BandwidthHierarchy — Figure 2's five bandwidths.
+func BenchmarkE2_BandwidthHierarchy(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3_DualPortMemory — 400 ns word vs 400 ns row.
+func BenchmarkE3_DualPortMemory(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4_GatherScatter — 1.6 µs per 64-bit element.
+func BenchmarkE4_GatherScatter(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5_LinkProtocol — >0.5 MB/s per link, 5 µs DMA startup.
+func BenchmarkE5_LinkProtocol(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6_BalanceRatio — 1 : 13 : 130.
+func BenchmarkE6_BalanceRatio(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7_PipelineDepths — adder 6 stages, multiplier 5/7.
+func BenchmarkE7_PipelineDepths(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8_CubeMappings — Figure 3 embeddings + O(log N) distance.
+func BenchmarkE8_CubeMappings(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9_ModuleAggregate — 128 MFLOPS, >12 MB/s intramodule.
+func BenchmarkE9_ModuleAggregate(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10_ConfigTable — §III configuration derivations.
+func BenchmarkE10_ConfigTable(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11_Checkpoint — ≈15 s snapshots regardless of configuration.
+func BenchmarkE11_Checkpoint(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12_RowPivot — physical row moves beat element moves.
+func BenchmarkE12_RowPivot(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13_VectorForms — feedback reductions at pipe rate.
+func BenchmarkE13_VectorForms(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14_SharedBusBaseline — distributed memory scales, bus saturates.
+func BenchmarkE14_SharedBusBaseline(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15_FFT — butterfly mapping, nearest-neighbor exchanges.
+func BenchmarkE15_FFT(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16_OverlapCrossover — gather hidden beyond ~13 forms.
+func BenchmarkE16_OverlapCrossover(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkAblation_SingleBank — DESIGN.md §5 ablation.
+func BenchmarkAblation_SingleBank(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkAblation_SublinkMux — bandwidth division across sublinks.
+func BenchmarkAblation_SublinkMux(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkAblation_SnapshotInterval — the ~10 minute compromise.
+func BenchmarkAblation_SnapshotInterval(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkAblation_Routing — e-cube under permutation traffic.
+func BenchmarkAblation_Routing(b *testing.B) { benchExperiment(b, "A4") }
+
+// BenchmarkAblation_ChunkedTransfer — pipelined multi-hop messaging.
+func BenchmarkAblation_ChunkedTransfer(b *testing.B) { benchExperiment(b, "A5") }
+
+// BenchmarkAblation_BroadcastTree — binomial tree vs naive root loop.
+func BenchmarkAblation_BroadcastTree(b *testing.B) { benchExperiment(b, "A6") }

@@ -1,0 +1,57 @@
+// Command tbench regenerates the paper's tables and figures: it runs the
+// full experiment suite (or a selected subset) and prints each result
+// block — the same harness the repository's benchmarks and EXPERIMENTS.md
+// are built from.
+//
+// Usage:
+//
+//	tbench            # run everything
+//	tbench E2 E11     # run selected experiments
+//	tbench -list      # list the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tseries/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range core.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	failed := false
+	for _, id := range ids {
+		e, err := core.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			continue
+		}
+		r, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(r.String())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

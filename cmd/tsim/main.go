@@ -1,0 +1,126 @@
+// Command tsim builds a T Series machine and runs one of the bundled
+// scientific workloads on it, printing simulated time and achieved
+// rates — a quick way to explore how problem size and machine size trade
+// against the architecture's 1:13:130 balance.
+//
+// Usage:
+//
+//	tsim -workload saxpy  -dim 3 -rows 200
+//	tsim -workload matmul -dim 2 -n 64
+//	tsim -workload fft    -dim 4 -n 1024
+//	tsim -workload stencil -dim 2 -n 32 -iters 50
+//	tsim -workload lu     -n 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"tseries/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "saxpy", "saxpy | matmul | fft | stencil | lu | dlu | sort | solve")
+	dim := flag.Int("dim", 3, "cube dimension (2^dim nodes)")
+	n := flag.Int("n", 64, "problem size (matrix order, FFT points, grid side)")
+	rows := flag.Int("rows", 100, "SAXPY rows per node")
+	iters := flag.Int("iters", 20, "stencil iterations")
+	seed := flag.Int64("seed", 1, "input generator seed")
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+	switch *workload {
+	case "saxpy":
+		res, err := workloads.DistributedSAXPY(*dim, *rows, 1)
+		fail(err)
+		fmt.Printf("SAXPY: %d nodes × %d rows: %v simulated, %.1f MFLOPS aggregate\n",
+			res.Nodes, res.Rows, res.Elapsed, res.MFLOPS())
+	case "matmul":
+		a, b := randMat(r, *n), randMat(r, *n)
+		res, err := workloads.DistributedMatMul(*dim, *n, a, b)
+		fail(err)
+		fmt.Printf("MatMul %d×%d on %d nodes: %v simulated, %.1f MFLOPS\n",
+			*n, *n, res.Nodes, res.Elapsed, res.MFLOPS())
+	case "fft":
+		in := make([]complex128, *n)
+		for i := range in {
+			in[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		res, err := workloads.DistributedFFT(*dim, in)
+		fail(err)
+		fmt.Printf("FFT %d points on %d nodes: %v simulated\n", res.N, res.Nodes, res.Elapsed)
+	case "stencil":
+		init := make([][]float64, *n)
+		for i := range init {
+			init[i] = make([]float64, *n)
+			init[i][0] = 100
+		}
+		res, err := workloads.DistributedStencil(*dim/2, *dim-*dim/2, *n, init, *iters)
+		fail(err)
+		fmt.Printf("Stencil %d×%d, %d iterations on %d nodes: %v simulated\n",
+			res.Grid, res.Grid, res.Iters, res.Nodes, res.Elapsed)
+	case "dlu":
+		a := randMat(r, *n)
+		for i := range a {
+			a[i][i] += float64(*n)
+		}
+		res, err := workloads.DistributedLU(*dim, *n, a)
+		fail(err)
+		fmt.Printf("Distributed LU %d×%d on %d nodes: %v simulated, %d pivot swaps\n",
+			res.N, res.N, res.Nodes, res.Elapsed, res.Swaps)
+	case "sort":
+		keys := make([]float64, *n)
+		for i := range keys {
+			keys[i] = r.NormFloat64()
+		}
+		res, err := workloads.SortRecords(*n, keys, true)
+		fail(err)
+		fmt.Printf("Sorted %d × 1 KB records (row moves): %v simulated, %d moves costing %v\n",
+			res.Records, res.Elapsed, res.Moves, res.MoveTime)
+	case "solve":
+		a := randMat(r, *n)
+		for i := range a {
+			a[i][i] += float64(*n)
+		}
+		b := make([]float64, *n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		res, err := workloads.Solve(*n, a, b)
+		fail(err)
+		fmt.Printf("Solve %d×%d (LINPACK recipe, 1 node): %v simulated, %.2f MFLOPS, residual %.2e\n",
+			res.N, res.N, res.Elapsed, res.MFLOPS(), res.Residual)
+	case "lu":
+		a := randMat(r, *n)
+		for i := range a {
+			a[i][i] += float64(*n) // keep it comfortably nonsingular
+		}
+		res, err := workloads.LU(*n, a, true)
+		fail(err)
+		fmt.Printf("LU %d×%d (1 node): %v simulated, %d row pivots costing %v\n",
+			res.N, res.N, res.Elapsed, res.Swaps, res.PivotTime)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func randMat(r *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = r.NormFloat64()
+		}
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+// Command tspec prints T Series configuration specifications — the
+// paper's §III scaling story, derived purely from module properties —
+// and, with -node, the Figure 1 node inventory from the simulator's own
+// structure.
+//
+// Usage:
+//
+//	tspec             # the configuration table, 0-cube to 14-cube
+//	tspec -dim 12     # one configuration
+//	tspec -node       # the node block diagram as text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tseries/internal/cp"
+	"tseries/internal/fpu"
+	"tseries/internal/link"
+	"tseries/internal/machine"
+	"tseries/internal/memory"
+	"tseries/internal/node"
+	"tseries/internal/sim"
+)
+
+func main() {
+	dim := flag.Int("dim", -1, "print a single cube dimension (default: all)")
+	nodeDiag := flag.Bool("node", false, "print the Figure 1 node inventory")
+	flag.Parse()
+
+	if *nodeDiag {
+		printNode()
+		return
+	}
+	if *dim >= 0 {
+		s, err := machine.SpecFor(*dim)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+		return
+	}
+	fmt.Println("FPS T Series configurations (derived from the 8-node module):")
+	for d := 0; d <= machine.MaxDim; d++ {
+		s, _ := machine.SpecFor(d)
+		usable := " "
+		if !s.Usable() {
+			usable = "!" // fewer than 2 sublinks/node left for I/O
+		}
+		fmt.Printf("%s %s\n", usable, s)
+	}
+	fmt.Println("\n'!' marks configurations without the two I/O sublinks per node;")
+	fmt.Println("the practical maximum is the 12-cube (4096 nodes, >65 GFLOPS, 4 GB).")
+}
+
+// printNode renders the Figure 1 inventory from a live node's structure.
+func printNode() {
+	k := sim.NewKernel()
+	nd := node.New(k, 0)
+	fmt.Println("T Series processor node (Figure 1):")
+	fmt.Printf("  control processor   32-bit, %.1f MIPS, stack ISA, byte addressable\n",
+		1/cp.Tick.Seconds()/1e6)
+	fmt.Printf("  main memory         %d KB dual-ported DRAM, parity per byte\n", memory.Bytes>>10)
+	fmt.Printf("    bank A            %d rows × %d bytes\n", memory.BankARows, memory.RowBytes)
+	fmt.Printf("    bank B            %d rows × %d bytes\n", memory.BankBRows, memory.RowBytes)
+	fmt.Printf("    word port         400 ns per 32-bit word (10 MB/s)\n")
+	fmt.Printf("    row port          %d bytes per 400 ns (2560 MB/s)\n", memory.RowBytes)
+	fmt.Printf("  vector registers    2 × %d bytes (one memory row each)\n", memory.RowBytes)
+	fmt.Printf("  adder pipeline      %d stages (32- and 64-bit)\n", nd.FPU.Adder.Depth(fpu.P64))
+	fmt.Printf("  multiplier pipeline %d stages 32-bit, %d stages 64-bit\n",
+		nd.FPU.Multiplier.Depth(fpu.P32), nd.FPU.Multiplier.Depth(fpu.P64))
+	fmt.Printf("  peak rate           %d MFLOPS (one add + one multiply per 125 ns)\n", node.PeakMFLOPS)
+	fmt.Printf("  links               %d bidirectional serial links, %d-way multiplexed → %d sublinks\n",
+		link.LinksPerNode, link.SublinksPerLink, link.SublinksPerNode)
+	fmt.Printf("  link bandwidth      %.3f MB/s per direction after protocol bits\n",
+		link.EffectiveBandwidth()/1e6)
+	fmt.Printf("  vector forms        VADD VSUB VMUL SAXPY VSMUL VSADD VNEG VABS DOT SUM VMAX VMIN VCMP CVT\n")
+}

@@ -1,0 +1,73 @@
+package tseries_test
+
+import (
+	"fmt"
+
+	"tseries"
+	"tseries/internal/comm"
+	"tseries/internal/fparith"
+	"tseries/internal/fpu"
+	"tseries/internal/memory"
+	"tseries/internal/sim"
+)
+
+// Example builds one module, runs a SAXPY on every node's vector unit,
+// and combines partial dot products with a hypercube all-reduce.
+func Example() {
+	sys, err := tseries.New(3) // eight nodes
+	if err != nil {
+		panic(err)
+	}
+	// Stage operands: x = 1s in bank A (row 0), y = 2s in bank B (row 300).
+	for id := 0; id < sys.Nodes(); id++ {
+		mem := sys.Node(id).Mem
+		for i := 0; i < memory.F64PerRow; i++ {
+			mem.PokeF64(i, fparith.FromFloat64(1))
+			mem.PokeF64(300*memory.F64PerRow+i, fparith.FromFloat64(2))
+		}
+	}
+	var total float64
+	sys.SPMD(func(p *sim.Proc, e *comm.Endpoint) {
+		nd := e.Node()
+		// z = 3x + y on the vector pipelines.
+		if _, err := nd.RunForm(p, fpu.Op{Form: fpu.SAXPY, Prec: fpu.P64,
+			A: fparith.FromFloat64(3), X: 0, Y: 300, Z: 301}); err != nil {
+			panic(err)
+		}
+		dot, err := nd.RunForm(p, fpu.Op{Form: fpu.Dot, Prec: fpu.P64, X: 0, Y: 301})
+		if err != nil {
+			panic(err)
+		}
+		sum, err := e.AllReduceF64(p, 10, comm.AddF64, []fparith.F64{dot.Scalar})
+		if err != nil {
+			panic(err)
+		}
+		if e.ID() == 0 {
+			total = sum[0].Float64()
+		}
+	})
+	fmt.Println(total) // 8 nodes × 128 elements × (3·1+2)
+	// Output: 5120
+}
+
+// ExampleSpecFor derives the paper's configuration table rows without
+// instantiating hardware.
+func ExampleSpecFor() {
+	for _, dim := range []int{6, 12} {
+		s, _ := tseries.SpecFor(dim)
+		fmt.Printf("%d nodes: %.3f GFLOPS, %d MB\n", s.Nodes, s.PeakGFLOPS(), s.RAMBytes>>20)
+	}
+	// Output:
+	// 64 nodes: 1.024 GFLOPS, 64 MB
+	// 4096 nodes: 65.536 GFLOPS, 4096 MB
+}
+
+// ExampleRunExperiment regenerates one of the paper's claims.
+func ExampleRunExperiment() {
+	r, err := tseries.RunExperiment("E3")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("word %gns row %gns\n", r.Metrics["word_ns"], r.Metrics["row_ns"])
+	// Output: word 400ns row 400ns
+}

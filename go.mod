@@ -1,0 +1,3 @@
+module tseries
+
+go 1.22

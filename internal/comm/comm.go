@@ -1,0 +1,246 @@
+// Package comm is the message-passing library of the simulated T Series:
+// typed point-to-point messages over the hypercube sublinks with
+// store-and-forward e-cube routing, plus the standard hypercube
+// collectives (broadcast, reduce, all-reduce, gather, scatter, barrier,
+// all-to-all) built by recursive doubling and binomial trees — the
+// communication patterns the paper's Figure 3 mappings exist to serve.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tseries/internal/cube"
+	"tseries/internal/fparith"
+	"tseries/internal/link"
+	"tseries/internal/node"
+	"tseries/internal/sim"
+)
+
+// header is the wire prefix of every message.
+const headerBytes = 16
+
+// Network is a set of nodes wired as a binary n-cube with a router
+// process per node per dimension.
+type Network struct {
+	Dim   int
+	Nodes []*node.Node
+	eps   []*Endpoint
+}
+
+// Endpoint is one node's interface to the network.
+type Endpoint struct {
+	net *Network
+	id  int
+	nd  *node.Node
+
+	mailboxes map[int]*sim.Chan // tag → delivery queue
+
+	// Counters.
+	Sent, Received, Forwarded int64
+	BytesSent                 int64
+}
+
+// delivered is what lands in a mailbox.
+type delivered struct {
+	src     int
+	payload []byte
+}
+
+// cubeSublink maps a cube dimension to a logical sublink, spreading the
+// first dimensions across the four physical links so the three
+// intramodule connections (dims 0..2) ride three separate wires — that
+// is what makes the module's aggregate internode bandwidth exceed
+// 12 MB/s. Logical sublinks 14 and 15 (link 3, sublinks 2 and 3) stay
+// reserved for system communication, so a 14-cube exactly exhausts the
+// remaining channels.
+var cubeSublink = [cube.MaxDim]int{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 3, 7, 11}
+
+// CubeSublink reports which logical sublink carries cube dimension d.
+func CubeSublink(d int) int { return cubeSublink[d] }
+
+// BuildCube wires the nodes' sublinks into a binary n-cube using the
+// CubeSublink channel assignment, and starts a daemon router on every
+// (node, dimension) pair.
+func BuildCube(k *sim.Kernel, nodes []*node.Node) (*Network, error) {
+	dim, err := cube.DimOf(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	if dim > cube.MaxDim {
+		return nil, fmt.Errorf("comm: %d-cube exceeds the %d-cube wiring maximum", dim, cube.MaxDim)
+	}
+	n := &Network{Dim: dim, Nodes: nodes}
+	for id, nd := range nodes {
+		if nd.ID != id {
+			return nil, fmt.Errorf("comm: node %d has ID %d; nodes must be in cube order", id, nd.ID)
+		}
+		n.eps = append(n.eps, &Endpoint{
+			net: n, id: id, nd: nd,
+			mailboxes: map[int]*sim.Chan{},
+		})
+	}
+	// Wire dimension d between id and id^(1<<d), once per edge.
+	for id := range nodes {
+		for d := 0; d < dim; d++ {
+			nb := cube.Neighbor(id, d)
+			if nb < id {
+				continue
+			}
+			a := nodes[id].Sublink(CubeSublink(d))
+			b := nodes[nb].Sublink(CubeSublink(d))
+			if err := link.Connect(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Routers: one daemon per (node, dimension), listening on that
+	// dimension's sublink.
+	for id := range nodes {
+		ep := n.eps[id]
+		for d := 0; d < dim; d++ {
+			sl := nodes[id].Sublink(CubeSublink(d))
+			k.GoDaemon(fmt.Sprintf("router/n%d/d%d", id, d), func(p *sim.Proc) {
+				for {
+					raw := sl.Recv(p)
+					ep.route(p, raw)
+				}
+			})
+		}
+	}
+	return n, nil
+}
+
+// Endpoint returns node id's network interface.
+func (n *Network) Endpoint(id int) *Endpoint { return n.eps[id] }
+
+// Size reports the number of nodes.
+func (n *Network) Size() int { return len(n.eps) }
+
+func (e *Endpoint) mailbox(tag int) *sim.Chan {
+	mb, ok := e.mailboxes[tag]
+	if !ok {
+		mb = sim.NewChan(e.nd.K, fmt.Sprintf("n%d/mbox%d", e.id, tag), 1<<20)
+		e.mailboxes[tag] = mb
+	}
+	return mb
+}
+
+// encode builds the wire form: src, dst, tag, len (uint32 LE) + payload.
+func encode(src, dst, tag int, payload []byte) []byte {
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(src))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(dst))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(tag))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
+	copy(buf[headerBytes:], payload)
+	return buf
+}
+
+func decode(raw []byte) (src, dst, tag int, payload []byte) {
+	src = int(binary.LittleEndian.Uint32(raw[0:]))
+	dst = int(binary.LittleEndian.Uint32(raw[4:]))
+	tag = int(binary.LittleEndian.Uint32(raw[8:]))
+	n := int(binary.LittleEndian.Uint32(raw[12:]))
+	return src, dst, tag, raw[headerBytes : headerBytes+n]
+}
+
+// hopSublink picks the e-cube next hop for a destination: the lowest
+// dimension in which this node's id differs from dst.
+func (e *Endpoint) hopSublink(dst int) (*link.Sublink, error) {
+	diff := e.id ^ dst
+	if diff == 0 {
+		return nil, fmt.Errorf("comm: node %d routing to itself", e.id)
+	}
+	for d := 0; d < e.net.Dim; d++ {
+		if diff&(1<<uint(d)) != 0 {
+			return e.nd.Sublink(CubeSublink(d)), nil
+		}
+	}
+	return nil, fmt.Errorf("comm: destination %d outside %d-cube", dst, e.net.Dim)
+}
+
+// route handles a message arriving at this node: deliver locally or
+// forward along the e-cube path (store-and-forward).
+func (e *Endpoint) route(p *sim.Proc, raw []byte) {
+	_, dst, tag, _ := decode(raw)
+	if dst == e.id {
+		src, _, _, payload := decode(raw)
+		e.Received++
+		e.mailbox(tag).Send(p, delivered{src: src, payload: payload})
+		return
+	}
+	sl, err := e.hopSublink(dst)
+	if err != nil {
+		panic(err) // corrupt routing state is a simulator bug
+	}
+	e.Forwarded++
+	if err := sl.Send(p, raw); err != nil {
+		panic(err)
+	}
+}
+
+// Send delivers payload to node dst under tag. The caller blocks for the
+// first-hop wire time; intermediate hops forward concurrently
+// (store-and-forward, so an h-hop message costs about h times the wire
+// time plus h DMA startups).
+func (e *Endpoint) Send(p *sim.Proc, dst, tag int, payload []byte) error {
+	if dst == e.id {
+		// Local delivery costs nothing on the wire.
+		e.Sent++
+		e.mailbox(tag).Send(p, delivered{src: e.id, payload: append([]byte(nil), payload...)})
+		return nil
+	}
+	sl, err := e.hopSublink(dst)
+	if err != nil {
+		return err
+	}
+	e.Sent++
+	e.BytesSent += int64(len(payload))
+	return sl.Send(p, encode(e.id, dst, tag, payload))
+}
+
+// Recv blocks until a message with the given tag arrives.
+func (e *Endpoint) Recv(p *sim.Proc, tag int) (src int, payload []byte) {
+	d := e.mailbox(tag).Recv(p).(delivered)
+	return d.src, d.payload
+}
+
+// ID reports the endpoint's cube address.
+func (e *Endpoint) ID() int { return e.id }
+
+// Node returns the underlying processor node.
+func (e *Endpoint) Node() *node.Node { return e.nd }
+
+// Dim reports the cube dimension.
+func (e *Endpoint) Dim() int { return e.net.Dim }
+
+// Typed helpers: 64-bit vectors travel as little-endian bytes, eight per
+// element — exactly what the link DMA would carry.
+
+// SendF64 sends a vector of 64-bit elements.
+func (e *Endpoint) SendF64(p *sim.Proc, dst, tag int, vals []fparith.F64) error {
+	return e.Send(p, dst, tag, packF64(vals))
+}
+
+// RecvF64 receives a vector of 64-bit elements.
+func (e *Endpoint) RecvF64(p *sim.Proc, tag int) (int, []fparith.F64) {
+	src, payload := e.Recv(p, tag)
+	return src, unpackF64(payload)
+}
+
+func packF64(vals []fparith.F64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+func unpackF64(b []byte) []fparith.F64 {
+	out := make([]fparith.F64, len(b)/8)
+	for i := range out {
+		out[i] = fparith.F64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

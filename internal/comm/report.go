@@ -1,0 +1,54 @@
+package comm
+
+import (
+	"tseries/internal/stats"
+)
+
+// LinkStats aggregates wire-level accounting across the network.
+type LinkStats struct {
+	Transfers   int64
+	BytesOnWire int64
+	// MaxWireUtil is the busiest single outbound wire's utilisation
+	// since simulation start (0..1) — the congestion hot spot.
+	MaxWireUtil float64
+	// MeanWireUtil averages over all wires that carried traffic.
+	MeanWireUtil float64
+}
+
+// Stats walks every node's physical links and aggregates counters.
+func (n *Network) Stats() LinkStats {
+	var out LinkStats
+	var used int
+	var sum float64
+	for _, nd := range n.Nodes {
+		for _, l := range nd.Links {
+			out.Transfers += l.Transfers
+			out.BytesOnWire += l.BytesSent
+			if l.Transfers == 0 {
+				continue
+			}
+			u := l.Wire().Utilization()
+			used++
+			sum += u
+			if u > out.MaxWireUtil {
+				out.MaxWireUtil = u
+			}
+		}
+	}
+	if used > 0 {
+		out.MeanWireUtil = sum / float64(used)
+	}
+	return out
+}
+
+// Report renders a table of per-endpoint traffic plus the wire summary.
+func (n *Network) Report() *stats.Table {
+	t := stats.NewTable("network traffic",
+		"node", "sent", "received", "forwarded", "bytes sent")
+	for id, e := range n.eps {
+		t.Add(id, e.Sent, e.Received, e.Forwarded, e.BytesSent)
+	}
+	s := n.Stats()
+	t.Add("wire", s.Transfers, "-", "-", s.BytesOnWire)
+	return t
+}

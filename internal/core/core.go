@@ -1,0 +1,94 @@
+// Package core is the top of the simulator: a facade that assembles a
+// complete T Series system (nodes, hypercube, modules, ring, disks) and
+// the experiment harness that regenerates every quantitative claim and
+// figure of the paper.
+package core
+
+import (
+	"fmt"
+
+	"tseries/internal/comm"
+	"tseries/internal/machine"
+	"tseries/internal/module"
+	"tseries/internal/node"
+	"tseries/internal/occam"
+	"tseries/internal/sim"
+)
+
+// System is a runnable T Series configuration plus its simulation clock.
+type System struct {
+	K *sim.Kernel
+	M *machine.Machine
+}
+
+// NewSystem builds a 2^dim-node machine.
+func NewSystem(dim int) (*System, error) {
+	k := sim.NewKernel()
+	m, err := machine.New(k, dim)
+	if err != nil {
+		return nil, err
+	}
+	return &System{K: k, M: m}, nil
+}
+
+// Spec derives the configuration table row for any dimension (no
+// instantiation required).
+func Spec(dim int) (machine.Spec, error) { return machine.SpecFor(dim) }
+
+// Nodes reports the node count.
+func (s *System) Nodes() int { return len(s.M.Nodes) }
+
+// Node returns processor i.
+func (s *System) Node(i int) *node.Node { return s.M.Nodes[i] }
+
+// Endpoint returns node i's message-passing interface.
+func (s *System) Endpoint(i int) *comm.Endpoint { return s.M.Endpoint(i) }
+
+// Modules returns the machine's modules.
+func (s *System) Modules() []*module.Module { return s.M.Modules }
+
+// Go spawns a host-written program as a simulated process.
+func (s *System) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return s.K.Go(name, fn)
+}
+
+// Run drives the simulation until idle (or for the given horizon) and
+// returns the simulated clock.
+func (s *System) Run(horizon sim.Duration) sim.Time { return s.K.Run(horizon) }
+
+// SPMD runs fn as one process per node (the usual single-program
+// multiple-data pattern), drives the simulation to completion, and
+// returns the elapsed simulated time.
+func (s *System) SPMD(fn func(p *sim.Proc, e *comm.Endpoint)) sim.Duration {
+	start := s.K.Now()
+	for i := 0; i < s.Nodes(); i++ {
+		e := s.Endpoint(i)
+		s.K.Go(fmt.Sprintf("spmd/n%d", i), func(p *sim.Proc) { fn(p, e) })
+	}
+	return s.K.Run(0).Sub(start)
+}
+
+// Checkpoint snapshots every module in parallel.
+func (s *System) Checkpoint(p *sim.Proc) ([]*module.Snapshot, error) {
+	return s.M.SnapshotAll(p)
+}
+
+// Restore rewinds every module to the given snapshots.
+func (s *System) Restore(p *sim.Proc, snaps []*module.Snapshot) error {
+	return s.M.RestoreAll(p, snaps)
+}
+
+// RunOccam parses src and starts PROC procName on node nodeID; the
+// caller then drives s.Run. Channel arguments may be *sim.Chan,
+// occam.Channel, or sublinks wrapped with occam.WrapSublink.
+func (s *System) RunOccam(nodeID int, src, procName string, args ...interface{}) (*occam.Interp, error) {
+	prog, err := occam.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ip := occam.New(s.K, prog, s.Node(nodeID))
+	if _, err := ip.Start(procName, args...); err != nil {
+		return nil, err
+	}
+	return ip, nil
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tseries/internal/comm"
+	"tseries/internal/fparith"
+	"tseries/internal/sim"
+)
+
+func TestSystemFacade(t *testing.T) {
+	s, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 8 || len(s.Modules()) != 1 {
+		t.Fatalf("nodes=%d modules=%d", s.Nodes(), len(s.Modules()))
+	}
+	// SPMD all-reduce of node ids.
+	results := make([]float64, 8)
+	s.SPMD(func(p *sim.Proc, e *comm.Endpoint) {
+		out, err := e.AllReduceF64(p, 10, comm.AddF64, []fparith.F64{fparith.FromInt64(int64(e.ID()))})
+		if err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		results[e.ID()] = out[0].Float64()
+	})
+	for id, v := range results {
+		if v != 28 {
+			t.Fatalf("node %d got %g", id, v)
+		}
+	}
+}
+
+func TestSystemOccam(t *testing.T) {
+	s, err := NewSystem(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := sim.NewChan(s.K, "done", 1)
+	ip, err := s.RunOccam(0, `
+PROC main(CHAN out)
+  INT x:
+  SEQ
+    x := 40 + 2
+    out ! x
+`, "main", done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int32
+	s.Go("host", func(p *sim.Proc) {
+		got = done.Recv(p).(int32)
+	})
+	s.Run(0)
+	if ip.Err() != nil {
+		t.Fatal(ip.Err())
+	}
+	if got != 42 {
+		t.Fatalf("occam sent %d", got)
+	}
+}
+
+// runExp runs one experiment by ID and returns its result.
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.Table == nil || len(r.Table.Rows) == 0 {
+		t.Fatalf("%s produced no table", id)
+	}
+	if !strings.Contains(r.String(), id) {
+		t.Fatalf("%s renders without its ID", id)
+	}
+	return r
+}
+
+func TestE1(t *testing.T) {
+	r := runExp(t, "E1")
+	if r.Metrics["peak_mflops"] != 16 {
+		t.Fatalf("peak = %g", r.Metrics["peak_mflops"])
+	}
+	if s := r.Metrics["sustained_mflops"]; s < 13 || s > 16 {
+		t.Fatalf("sustained = %g", s)
+	}
+}
+
+func TestE2(t *testing.T) {
+	r := runExp(t, "E2")
+	checks := []struct {
+		key      string
+		lo, hi   float64
+		paperVal float64
+	}{
+		{"link_MBps", 0.5, 0.65, 0.5},
+		{"cp_MBps", 9.9, 10.1, 10},
+		{"row_MBps", 2550, 2570, 2560},
+		{"vreg_MBps", 190, 194, 192},
+		{"bank_MBps", 63, 65, 64},
+	}
+	for _, c := range checks {
+		v := r.Metrics[c.key]
+		if v < c.lo || v > c.hi {
+			t.Errorf("%s = %g, want ≈%g", c.key, v, c.paperVal)
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	r := runExp(t, "E3")
+	if r.Metrics["word_ns"] != 400 || r.Metrics["row_ns"] != 400 {
+		t.Fatalf("port times: %v", r.Metrics)
+	}
+}
+
+func TestE4(t *testing.T) {
+	r := runExp(t, "E4")
+	if v := r.Metrics["us_per_elem_64"]; v < 1.59 || v > 1.61 {
+		t.Fatalf("64-bit gather = %g µs", v)
+	}
+	if v := r.Metrics["us_per_elem_32"]; v < 0.79 || v > 0.81 {
+		t.Fatalf("32-bit gather = %g µs", v)
+	}
+}
+
+func TestE5(t *testing.T) {
+	r := runExp(t, "E5")
+	if v := r.Metrics["link_MBps"]; v <= 0.5 || v >= 0.65 {
+		t.Fatalf("link bandwidth = %g MB/s", v)
+	}
+	if v := r.Metrics["startup_us"]; v < 4.5 || v > 5.5 {
+		t.Fatalf("startup = %g µs", v)
+	}
+	if v := r.Metrics["aggregate_MBps"]; v <= 4 {
+		t.Fatalf("aggregate = %g MB/s", v)
+	}
+}
+
+func TestE6(t *testing.T) {
+	r := runExp(t, "E6")
+	if v := r.Metrics["gather_ratio"]; v < 12 || v > 14 {
+		t.Fatalf("gather ratio = %g, paper says ≈13", v)
+	}
+	if v := r.Metrics["link_ratio"]; v < 100 || v > 150 {
+		t.Fatalf("link ratio = %g, paper says ≈130", v)
+	}
+}
+
+func TestE7(t *testing.T) {
+	r := runExp(t, "E7")
+	if r.Metrics["adder_stages"] != 6 || r.Metrics["mul64_stages"] != 7 || r.Metrics["mul32_stages"] != 5 {
+		t.Fatalf("depths: %v", r.Metrics)
+	}
+	if r.Metrics["saxpy_fill"] != 13 {
+		t.Fatalf("saxpy fill = %g", r.Metrics["saxpy_fill"])
+	}
+}
+
+func TestE8(t *testing.T) {
+	r := runExp(t, "E8")
+	for _, row := range r.Table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("embedding failed: %v", row)
+		}
+	}
+	if v := r.Metrics["hop4_over_hop1"]; v < 2.5 || v > 4.5 {
+		t.Fatalf("4-hop/1-hop latency = %g, want ≈4 (store-and-forward)", v)
+	}
+}
+
+func TestE9(t *testing.T) {
+	r := runExp(t, "E9")
+	if v := r.Metrics["sustained_mflops"]; v < 100 || v > 128 {
+		t.Fatalf("module sustained = %g MFLOPS", v)
+	}
+	if v := r.Metrics["intramodule_MBps"]; v <= 12 {
+		t.Fatalf("intramodule bandwidth = %g MB/s, paper says over 12", v)
+	}
+}
+
+func TestE10(t *testing.T) {
+	r := runExp(t, "E10")
+	if v := r.Metrics["gflops_64node"]; v < 1.0 || v > 1.1 {
+		t.Fatalf("64-node = %g GFLOPS", v)
+	}
+	if v := r.Metrics["gflops_4096node"]; v < 65 || v > 66 {
+		t.Fatalf("4096-node = %g GFLOPS", v)
+	}
+	if r.Metrics["free_sublinks_14cube"] != 0 {
+		t.Fatalf("14-cube free sublinks = %g", r.Metrics["free_sublinks_14cube"])
+	}
+}
+
+func TestE11(t *testing.T) {
+	r := runExp(t, "E11")
+	for _, key := range []string{"snap_1mod_s", "snap_2mod_s"} {
+		if v := r.Metrics[key]; v < 13 || v > 17 {
+			t.Fatalf("%s = %g s, want ≈15", key, v)
+		}
+	}
+	if r.Metrics["restore_ok"] != 1 {
+		t.Fatal("restore failed")
+	}
+	// "Regardless of configuration": two modules no slower than one + 5%.
+	if r.Metrics["snap_2mod_s"] > 1.05*r.Metrics["snap_1mod_s"] {
+		t.Fatalf("snapshot time grew with configuration: %v", r.Metrics)
+	}
+}
+
+func TestE12(t *testing.T) {
+	r := runExp(t, "E12")
+	if v := r.Metrics["pivot_speedup"]; v < 20 {
+		t.Fatalf("row-move speedup = %g", v)
+	}
+	if r.Metrics["swaps"] == 0 {
+		t.Fatal("no pivots exercised")
+	}
+	if v := r.Metrics["sort_speedup"]; v < 100 {
+		t.Fatalf("record-sort row-move speedup = %g", v)
+	}
+}
+
+func TestE13(t *testing.T) {
+	r := runExp(t, "E13")
+	if v := r.Metrics["dot_mflops"]; v < 11 || v > 16.5 {
+		t.Fatalf("dot rate = %g MFLOPS", v)
+	}
+}
+
+func TestE14(t *testing.T) {
+	r := runExp(t, "E14")
+	// Hypercube keeps scaling; the bus plateaus.
+	if r.Metrics["cube_mflops_p64"] < 30*r.Metrics["cube_mflops_p1"]*0.9 {
+		t.Fatalf("cube scaling broken: %v", r.Metrics)
+	}
+	if r.Metrics["bus_mflops_p64"] > 6*r.Metrics["bus_mflops_p1"] {
+		t.Fatalf("bus failed to saturate: %v", r.Metrics)
+	}
+	if r.Metrics["crossover_procs"] == 0 || r.Metrics["crossover_procs"] > 16 {
+		t.Fatalf("crossover at %g processors", r.Metrics["crossover_procs"])
+	}
+}
+
+func TestE15(t *testing.T) {
+	r := runExp(t, "E15")
+	for _, row := range r.Table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("FFT incorrect: %v", row)
+		}
+	}
+}
+
+func TestE16(t *testing.T) {
+	r := runExp(t, "E16")
+	if v := r.Metrics["crossover_forms"]; v < 11 || v > 16 {
+		t.Fatalf("overlap crossover at %g forms, paper rule ≈13", v)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	a1 := runExp(t, "A1")
+	if v := a1.Metrics["slowdown"]; v < 1.8 || v > 2.3 {
+		t.Fatalf("single-bank slowdown = %g, want ≈2", v)
+	}
+	a2 := runExp(t, "A2")
+	if v := a2.Metrics["mux_slowdown"]; v < 3.5 || v > 4.5 {
+		t.Fatalf("mux slowdown = %g, want ≈4", v)
+	}
+	a3 := runExp(t, "A3")
+	if a3.Metrics["best_interval_is_10min"] != 1 {
+		t.Fatal("interval sweep does not favour ~10 min")
+	}
+	a4 := runExp(t, "A4")
+	if a4.Metrics["ecube_us"] <= 0 {
+		t.Fatal("routing experiment produced no timing")
+	}
+	a5 := runExp(t, "A5")
+	if v := a5.Metrics["speedup_3hops"]; v < 2 || v > 3.2 {
+		t.Fatalf("chunked 3-hop speedup = %g, want ≈3", v)
+	}
+	a6 := runExp(t, "A6")
+	if v := a6.Metrics["speedup_16nodes"]; v < 2 {
+		t.Fatalf("tree broadcast speedup = %g, want ≥2 at 16 nodes", v)
+	}
+}
+
+func TestAllRegistryRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in long mode only")
+	}
+	for _, e := range All() {
+		if _, err := Find(e.ID); err != nil {
+			t.Fatalf("registry inconsistent for %s", e.ID)
+		}
+	}
+	if _, err := Find("E99"); err == nil {
+		t.Fatal("bogus experiment found")
+	}
+}

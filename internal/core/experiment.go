@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tseries/internal/stats"
+)
+
+// Result is one experiment's reproduction output: a printable table, a
+// set of named scalar metrics the benchmarks and tests assert on, and
+// free-form notes comparing against the paper.
+type Result struct {
+	ID      string
+	Title   string
+	Table   *stats.Table
+	Metrics map[string]float64
+	Notes   []string
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+func (r *Result) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the experiment block for the harness output.
+func (r *Result) String() string {
+	s := fmt.Sprintf("### %s — %s\n", r.ID, r.Title)
+	if r.Table != nil {
+		s += r.Table.String()
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s += fmt.Sprintf("  %-32s %.6g\n", k, r.Metrics[k])
+		}
+	}
+	for _, n := range r.Notes {
+		s += "  * " + n + "\n"
+	}
+	return s
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+// All returns the full experiment suite in paper order, followed by the
+// ablations of DESIGN.md §5.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Node peak arithmetic rate (16 MFLOPS, §II)", E1NodePeak},
+		{"E2", "Processor bandwidth hierarchy (Figure 2)", E2Bandwidths},
+		{"E3", "Dual-port memory: word vs row port (§II Memory)", E3DualPortMemory},
+		{"E4", "Gather/scatter cost (1.6 µs per 64-bit element, §II)", E4GatherScatter},
+		{"E5", "Link protocol: >0.5 MB/s per link, 5 µs DMA startup (§II)", E5LinkProtocol},
+		{"E6", "Balance ratio 1:13:130 (§II Communications)", E6BalanceRatio},
+		{"E7", "Pipeline depths: adder 6, multiplier 5/7 (§II Arithmetic)", E7PipelineDepths},
+		{"E8", "Binary n-cube mappings and O(log N) distance (Figure 3, §III)", E8CubeMappings},
+		{"E9", "Module aggregate: 128 MFLOPS, >12 MB/s intramodule (§III)", E9ModuleAggregate},
+		{"E10", "Configuration table: module → 14-cube (§III)", E10ConfigTable},
+		{"E11", "Snapshot ≈15 s regardless of configuration (§III)", E11Checkpoint},
+		{"E12", "Row-move pivoting vs pointer/element moves (§II Memory)", E12RowPivot},
+		{"E13", "Vector forms with feedback: DOT/SUM at pipe rate (§II)", E13VectorForms},
+		{"E14", "Distributed memory vs shared bus (§I motivation)", E14SharedBus},
+		{"E15", "FFT on the butterfly mapping (Figure 3)", E15FFT},
+		{"E16", "Gather overlap crossover at ~13 ops/word (§II)", E16OverlapCrossover},
+		{"A1", "Ablation: single-bank memory", A1SingleBank},
+		{"A2", "Ablation: sublink multiplexing divides link bandwidth", A2SublinkMux},
+		{"A3", "Ablation: snapshot interval trade-off (~10 min compromise)", A3SnapshotInterval},
+		{"A4", "Ablation: e-cube vs random-order routing under permutation load", A4Routing},
+		{"A5", "Ablation: chunked multi-hop transfers (software cut-through)", A5ChunkedTransfer},
+		{"A6", "Ablation: binomial-tree broadcast vs naive root loop", A6BroadcastTree},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: no experiment %q", id)
+}

@@ -1,0 +1,226 @@
+package cp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into instruction bytes.
+//
+// Syntax: one instruction per line; `label:` prefixes; `;` comments.
+// Direct functions take an integer operand or a label (jump targets are
+// encoded relative to the next instruction, as the hardware requires).
+// Secondary operations are bare mnemonics (`add`, `out`, …). The
+// pseudo-op `word <n>` emits a literal 32-bit little-endian word.
+//
+// Because operand encodings grow with magnitude (via pfix/nfix chains)
+// and jump distances depend on instruction sizes, assembly iterates to a
+// fixed point before emitting.
+func Assemble(src string) ([]byte, error) {
+	type inst struct {
+		fn      int    // direct function, or -1 for `word`
+		operand int    // resolved operand (when label == "")
+		label   string // unresolved jump/call target
+		size    int    // current encoding size estimate
+		line    int
+	}
+	var prog []inst
+	labels := map[string]int{} // label → instruction index
+	base := 0                  // load address set by `org`; label values are base-relative
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			lbl := strings.TrimSpace(line[:i])
+			if lbl == "" || strings.ContainsAny(lbl, " \t") {
+				return nil, fmt.Errorf("cp: line %d: bad label %q", ln+1, lbl)
+			}
+			if _, dup := labels[lbl]; dup {
+				return nil, fmt.Errorf("cp: line %d: duplicate label %q", ln+1, lbl)
+			}
+			labels[lbl] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := fields[0]
+		switch {
+		case mnem == "org":
+			if len(fields) != 2 || len(prog) > 0 {
+				return nil, fmt.Errorf("cp: line %d: org must lead the program and take an address", ln+1)
+			}
+			v, err := parseInt(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("cp: line %d: %v", ln+1, err)
+			}
+			base = v
+		case mnem == "word":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cp: line %d: word needs a value", ln+1)
+			}
+			v, err := parseInt(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("cp: line %d: %v", ln+1, err)
+			}
+			prog = append(prog, inst{fn: -1, operand: v, size: 4, line: ln + 1})
+		case fnNumbers[mnem] != 0 || mnem == "j":
+			fn := fnNumbers[mnem]
+			if fn == FnOpr {
+				return nil, fmt.Errorf("cp: line %d: use secondary mnemonics, not opr", ln+1)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cp: line %d: %s needs an operand", ln+1, mnem)
+			}
+			in := inst{fn: fn, size: 1, line: ln + 1}
+			if v, err := parseInt(fields[1]); err == nil {
+				in.operand = v
+			} else {
+				in.label = fields[1]
+			}
+			prog = append(prog, in)
+		default:
+			op, ok := opNumbers[mnem]
+			if !ok {
+				return nil, fmt.Errorf("cp: line %d: unknown mnemonic %q", ln+1, mnem)
+			}
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("cp: line %d: %s takes no operand", ln+1, mnem)
+			}
+			prog = append(prog, inst{fn: FnOpr, operand: op, size: 1, line: ln + 1})
+		}
+	}
+
+	// Iterate sizes to a fixed point: label operands are relative to the
+	// end of the referencing instruction (jumps) or absolute (others —
+	// ldc of a label loads its byte address).
+	addr := make([]int, len(prog)+1)
+	for pass := 0; pass < 20; pass++ {
+		pos := 0
+		for i := range prog {
+			addr[i] = pos
+			pos += prog[i].size
+		}
+		addr[len(prog)] = pos
+		changed := false
+		for i := range prog {
+			in := &prog[i]
+			if in.fn == -1 {
+				continue
+			}
+			v := in.operand
+			if in.label != "" {
+				ti, ok := labels[in.label]
+				if !ok {
+					return nil, fmt.Errorf("cp: line %d: undefined label %q", in.line, in.label)
+				}
+				if in.fn == FnJ || in.fn == FnCj || in.fn == FnCall {
+					v = addr[ti] - (addr[i] + in.size) // relative to next instruction
+				} else {
+					v = base + addr[ti]
+				}
+			}
+			if s := encodedSize(v); s != in.size {
+				in.size = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if pass == 19 {
+			return nil, fmt.Errorf("cp: assembler did not converge")
+		}
+	}
+
+	// Emit.
+	var out []byte
+	pos := 0
+	for i := range prog {
+		addr[i] = pos
+		pos += prog[i].size
+	}
+	addr[len(prog)] = pos
+	for i := range prog {
+		in := prog[i]
+		if in.fn == -1 {
+			v := uint32(in.operand)
+			out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			continue
+		}
+		v := in.operand
+		if in.label != "" {
+			ti := labels[in.label]
+			if in.fn == FnJ || in.fn == FnCj || in.fn == FnCall {
+				v = addr[ti] - (addr[i] + in.size)
+			} else {
+				v = base + addr[ti]
+			}
+		}
+		enc := encodeInstr(byte(in.fn), v)
+		if len(enc) != in.size {
+			return nil, fmt.Errorf("cp: line %d: encoding size drifted", in.line)
+		}
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+func parseInt(s string) (int, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	return int(v), err
+}
+
+// encodeInstr builds the pfix/nfix chain for a direct function with an
+// arbitrary operand.
+func encodeInstr(fn byte, v int) []byte {
+	if v >= 0 && v < 16 {
+		return []byte{fn<<4 | byte(v)}
+	}
+	if v >= 16 {
+		return append(encodeInstr(FnPfix, v>>4), fn<<4|byte(v&15))
+	}
+	return append(encodeInstr(FnNfix, (^v)>>4), fn<<4|byte(v&15))
+}
+
+func encodedSize(v int) int { return len(encodeInstr(FnLdc, v)) }
+
+// Disassemble renders instruction bytes back into one mnemonic per line,
+// resolving pfix/nfix chains into full operands.
+func Disassemble(code []byte) string {
+	var b strings.Builder
+	oreg := 0
+	for pc := 0; pc < len(code); pc++ {
+		fn := code[pc] >> 4
+		data := int(code[pc] & 15)
+		oreg |= data
+		switch fn {
+		case FnPfix:
+			oreg <<= 4
+			continue
+		case FnNfix:
+			oreg = (^oreg) << 4
+			continue
+		case FnOpr:
+			name, ok := opNames[oreg]
+			if !ok {
+				name = fmt.Sprintf("opr?%d", oreg)
+			}
+			fmt.Fprintf(&b, "%04x\t%s\n", pc, name)
+		default:
+			fmt.Fprintf(&b, "%04x\t%s %d\n", pc, fnNames[fn], oreg)
+		}
+		oreg = 0
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+// Package cp models the node's control processor: a 32-bit CMOS
+// microprocessor with a 7.5 MIPS instruction rate, byte addressability,
+// 2 KB of single-cycle on-chip RAM, 3-cycle-minimum off-chip access, four
+// serial links, a stack-oriented instruction set with variable operand
+// sizes, and two process priority levels.
+//
+// The instruction set follows the transputer's prefix scheme: every
+// instruction is one byte — a 4-bit function and 4-bit data nibble — and
+// an operand register (Oreg) accumulates nibbles via pfix/nfix so
+// operands of any size can be built. The evaluation stack is three
+// registers deep (Areg, Breg, Creg).
+//
+// The control processor executes system and user code, arranges vector
+// operands (gather/scatter), performs integer arithmetic in parallel with
+// the vector unit, and drives inter-node communication over its links.
+package cp
+
+// Direct functions: the high nibble of each instruction byte.
+const (
+	FnJ     = 0x0 // j: unconditional relative jump
+	FnLdlp  = 0x1 // ldlp: load local pointer (Wptr + operand, word units)
+	FnPfix  = 0x2 // pfix: prefix — Oreg <<= 4
+	FnLdnl  = 0x3 // ldnl: load non-local (mem[Areg/4 + operand], off-chip)
+	FnLdc   = 0x4 // ldc: load constant
+	FnLdnlp = 0x5 // ldnlp: load non-local pointer
+	FnNfix  = 0x6 // nfix: negative prefix — Oreg = (^Oreg) << 4
+	FnLdl   = 0x7 // ldl: load local word (workspace)
+	FnAdc   = 0x8 // adc: add constant to Areg
+	FnCall  = 0x9 // call: push Iptr/A/B/C into new workspace, jump
+	FnCj    = 0xA // cj: pop Areg, jump if zero
+	FnAjw   = 0xB // ajw: adjust workspace pointer
+	FnEqc   = 0xC // eqc: Areg = (Areg == operand)
+	FnStl   = 0xD // stl: store local word
+	FnStnl  = 0xE // stnl: store non-local (off-chip)
+	FnOpr   = 0xF // opr: operate — Oreg selects a secondary operation
+)
+
+// Secondary operations, selected by the operand of FnOpr.
+const (
+	OpRev     = 0  // swap Areg and Breg
+	OpRet     = 1  // return from call
+	OpAdd     = 2  // Areg = Breg + Areg (pops)
+	OpSub     = 3  // Areg = Breg - Areg
+	OpMul     = 4  // Areg = Breg * Areg
+	OpDiv     = 5  // Areg = Breg / Areg (sets error on /0)
+	OpRem     = 6  // Areg = Breg % Areg
+	OpGt      = 7  // Areg = (Breg > Areg)
+	OpAnd     = 8  // bitwise and
+	OpOr      = 9  // bitwise or
+	OpXor     = 10 // bitwise xor
+	OpNot     = 11 // bitwise complement of Areg
+	OpShl     = 12 // Areg = Breg << Areg
+	OpShr     = 13 // Areg = Breg >> Areg (logical)
+	OpMint    = 14 // push minimum integer (0x80000000)
+	OpIn      = 15 // in: Areg=count, Breg=channel, Creg=dest byte addr
+	OpOut     = 16 // out: Areg=count, Breg=channel, Creg=src byte addr
+	OpStartp  = 17 // start process: Areg=code addr, Breg=new Wptr
+	OpEndp    = 18 // end current process
+	OpStopp   = 19 // stop (halt) the whole program on this CP
+	OpDup     = 20 // duplicate Areg
+	OpDiff    = 21 // Areg = Breg - Areg without overflow check
+	OpSum     = 22 // Areg = Breg + Areg without overflow check
+	OpWsub    = 23 // word subscript: Areg = Areg*4 + Breg (byte address)
+	OpSeterr  = 24 // set the error flag
+	OpTesterr = 25 // push error flag (1/0) and clear it
+	OpLdtimer = 26 // push the current time in microseconds
+	OpOutword = 27 // send the single word in Areg on channel Breg
+	OpInword  = 28 // receive a single word from channel Areg
+	OpVform   = 29 // trigger a vector form: Areg = descriptor byte addr
+	OpVwait   = 30 // wait for the pending vector form; push status word
+	OpMove    = 31 // block move: Areg=count, Breg=src, Creg=dest (bytes)
+	OpXword   = 32 // reserved
+)
+
+// opNames maps secondary operation numbers to assembler mnemonics.
+var opNames = map[int]string{
+	OpRev: "rev", OpRet: "ret", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpRem: "rem", OpGt: "gt", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpNot: "not", OpShl: "shl", OpShr: "shr", OpMint: "mint",
+	OpIn: "in", OpOut: "out", OpStartp: "startp", OpEndp: "endp",
+	OpStopp: "stopp", OpDup: "dup", OpDiff: "diff", OpSum: "sum",
+	OpWsub: "wsub", OpSeterr: "seterr", OpTesterr: "testerr",
+	OpLdtimer: "ldtimer", OpOutword: "outword", OpInword: "inword",
+	OpVform: "vform", OpVwait: "vwait", OpMove: "move",
+}
+
+// opNumbers is the inverse of opNames.
+var opNumbers = func() map[string]int {
+	m := make(map[string]int, len(opNames))
+	for k, v := range opNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// fnNames maps direct function nibbles to mnemonics.
+var fnNames = [16]string{
+	"j", "ldlp", "pfix", "ldnl", "ldc", "ldnlp", "nfix", "ldl",
+	"adc", "call", "cj", "ajw", "eqc", "stl", "stnl", "opr",
+}
+
+// fnNumbers is the inverse of fnNames.
+var fnNumbers = func() map[string]int {
+	m := make(map[string]int, 16)
+	for i, n := range fnNames {
+		m[n] = i
+	}
+	return m
+}()

@@ -1,0 +1,121 @@
+package cp
+
+import "fmt"
+
+// Canned control-processor programs: the assembly routines node software
+// composes. Each returns source accepted by Assemble; callers choose
+// load addresses and workspaces.
+
+// ProgMemSet stores `value` into `count` consecutive off-chip words
+// starting at byte address dst (word aligned). It exercises stnl through
+// the timed random-access port.
+func ProgMemSet(dst, value, count int) string {
+	return fmt.Sprintf(`
+		ldc %d
+		stl 0        ; remaining
+		ldc %d
+		stl 1        ; cursor (byte address)
+	loop:
+		ldl 0
+		cj done
+		ldc %d
+		ldl 1
+		stnl 0       ; mem[cursor] = value
+		ldl 1
+		adc 4
+		stl 1
+		ldl 0
+		adc -1
+		stl 0
+		j loop
+	done:
+		stopp
+	`, count, dst, value)
+}
+
+// ProgSum adds `count` off-chip words starting at byte address src and
+// leaves the total in local 2 (word Wptr+2).
+func ProgSum(src, count int) string {
+	return fmt.Sprintf(`
+		ldc %d
+		stl 0        ; remaining
+		ldc %d
+		stl 1        ; cursor
+		ldc 0
+		stl 2        ; acc
+	loop:
+		ldl 0
+		cj done
+		ldl 1
+		ldnl 0
+		ldl 2
+		add
+		stl 2
+		ldl 1
+		adc 4
+		stl 1
+		ldl 0
+		adc -1
+		stl 0
+		j loop
+	done:
+		stopp
+	`, count, src)
+}
+
+// ProgEcho receives `count` words on channel `in` and sends each back
+// incremented on channel `out` — the canonical link-service loop.
+func ProgEcho(in, out, count int) string {
+	return fmt.Sprintf(`
+		ldc %d
+		stl 0
+	loop:
+		ldl 0
+		cj done
+		ldc %d
+		inword
+		adc 1
+		stl 1
+		ldc %d       ; channel
+		ldl 1        ; value
+		outword
+		ldl 0
+		adc -1
+		stl 0
+		j loop
+	done:
+		stopp
+	`, count, in, out)
+}
+
+// ProgVectorDriver builds the descriptor for one 64-bit vector form at
+// byte address descr and runs it to completion, leaving the status word
+// in local 0. Operand rows and the element count are baked in; the
+// scalar field must already hold the desired value (or zero).
+func ProgVectorDriver(descr, form, x, y, z, n int) string {
+	return fmt.Sprintf(`
+		ldc %[2]d
+		ldc %[1]d
+		stnl 0       ; form
+		ldc 64
+		ldc %[1]d
+		stnl 1       ; precision
+		ldc %[3]d
+		ldc %[1]d
+		stnl 2       ; X row
+		ldc %[4]d
+		ldc %[1]d
+		stnl 3       ; Y row
+		ldc %[5]d
+		ldc %[1]d
+		stnl 4       ; Z row
+		ldc %[6]d
+		ldc %[1]d
+		stnl 5       ; N
+		ldc %[1]d
+		vform
+		vwait
+		stl 0
+		stopp
+	`, descr, form, x, y, z, n)
+}

@@ -1,0 +1,215 @@
+package cp
+
+import (
+	"testing"
+
+	"tseries/internal/fparith"
+	"tseries/internal/fpu"
+	"tseries/internal/link"
+	"tseries/internal/memory"
+	"tseries/internal/sim"
+)
+
+func TestProgMemSet(t *testing.T) {
+	k, m, c := rig()
+	code, err := Assemble(ProgMemSet(0x30000, 7777, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadProgram(codeBase, code)
+	k.Go("cp", func(p *sim.Proc) {
+		if _, err := c.Run(p, codeBase, wsBase); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	end := k.Run(0)
+	for i := 0; i < 50; i++ {
+		if got := int32(m.PeekWord(0x30000/4 + i)); got != 7777 {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+	if int32(m.PeekWord(0x30000/4+50)) == 7777 {
+		t.Fatal("memset overran")
+	}
+	// 50 stnl accesses dominate: ≥ 50×400ns.
+	if end < sim.Time(20*sim.Microsecond) {
+		t.Fatalf("memset too fast: %v", end)
+	}
+}
+
+func TestProgSum(t *testing.T) {
+	k, m, c := rig()
+	want := int32(0)
+	for i := 0; i < 30; i++ {
+		m.PokeWord(0x30000/4+i, uint32(i*i))
+		want += int32(i * i)
+	}
+	code, err := Assemble(ProgSum(0x30000, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadProgram(codeBase, code)
+	k.Go("cp", func(p *sim.Proc) {
+		if _, err := c.Run(p, codeBase, wsBase); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	k.Run(0)
+	if got := int32(m.PeekWord(wsBase + 2)); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestProgEchoOverLink(t *testing.T) {
+	// Node B runs the echo service; node A's CP sends words and checks
+	// the incremented replies.
+	k := sim.NewKernel()
+	mA, mB := memory.New(k, "a"), memory.New(k, "b")
+	ca, cb := New(k, "a", mA), New(k, "b", mB)
+	ca.Links[0] = link.NewLink(k, "a/l0")
+	cb.Links[0] = link.NewLink(k, "b/l0")
+	if err := link.Connect(ca.Links[0].Sublink(0), cb.Links[0].Sublink(0)); err != nil {
+		t.Fatal(err)
+	}
+	echo, err := Assemble(ProgEcho(0, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.LoadProgram(codeBase, echo)
+	k.Go("b", func(p *sim.Proc) {
+		if _, err := cb.Run(p, codeBase, wsBase); err != nil {
+			t.Errorf("echo: %v", err)
+		}
+	})
+	// Driver on A, written in assembly too.
+	driver, err := Assemble(`
+		ldc 0
+		ldc 100
+		outword
+		ldc 0
+		inword
+		stl 0
+		ldc 0
+		ldc 200
+		outword
+		ldc 0
+		inword
+		stl 1
+		ldc 0
+		ldc 300
+		outword
+		ldc 0
+		inword
+		stl 2
+		stopp
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.LoadProgram(codeBase, driver)
+	k.Go("a", func(p *sim.Proc) {
+		if _, err := ca.Run(p, codeBase, wsBase); err != nil {
+			t.Errorf("driver: %v", err)
+		}
+	})
+	k.Run(0)
+	for i, want := range []int32{101, 201, 301} {
+		if got := int32(mA.PeekWord(wsBase + i)); got != want {
+			t.Fatalf("reply %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestProgVectorDriver(t *testing.T) {
+	k, m, c := rig()
+	c.FPU = fpu.New(k, "n0", m)
+	for i := 0; i < memory.F64PerRow; i++ {
+		m.PokeF64(i, fparith.FromInt64(2))
+		m.PokeF64(300*memory.F64PerRow+i, fparith.FromInt64(5))
+	}
+	src := ProgVectorDriver(0x20000, int(fpu.VMul), 0, 300, 301, 0)
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadProgram(codeBase, code)
+	k.Go("cp", func(p *sim.Proc) {
+		if _, err := c.Run(p, codeBase, wsBase); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	k.Run(0)
+	if st := int32(m.PeekWord(wsBase)); st != 0 {
+		t.Fatalf("status = %d", st)
+	}
+	for i := 0; i < memory.F64PerRow; i++ {
+		if got := m.PeekF64(301*memory.F64PerRow + i).Float64(); got != 10 {
+			t.Fatalf("z[%d] = %g", i, got)
+		}
+	}
+}
+
+func TestQuickArithmeticPrograms(t *testing.T) {
+	// Property: for random small a, b the CP computes the same
+	// arithmetic as the host.
+	cases := []struct {
+		op   string
+		host func(a, b int32) int32
+	}{
+		{"add", func(a, b int32) int32 { return a + b }},
+		{"sub", func(a, b int32) int32 { return a - b }},
+		{"mul", func(a, b int32) int32 { return a * b }},
+		{"and", func(a, b int32) int32 { return a & b }},
+		{"or", func(a, b int32) int32 { return a | b }},
+		{"xor", func(a, b int32) int32 { return a ^ b }},
+	}
+	vals := []int32{0, 1, -1, 7, -13, 1000, -100000, 1 << 20, -(1 << 28)}
+	for _, c0 := range cases {
+		for _, a := range vals {
+			for _, b := range vals {
+				src := sprintProg(a, b, c0.op)
+				k, m, c := rig()
+				code, err := Assemble(src)
+				if err != nil {
+					t.Fatalf("%s: %v", c0.op, err)
+				}
+				c.LoadProgram(codeBase, code)
+				k.Go("cp", func(p *sim.Proc) {
+					if _, err := c.Run(p, codeBase, wsBase); err != nil {
+						t.Errorf("run: %v", err)
+					}
+				})
+				k.Run(0)
+				if got := int32(m.PeekWord(wsBase)); got != c0.host(a, b) {
+					t.Fatalf("%d %s %d = %d, want %d", a, c0.op, b, got, c0.host(a, b))
+				}
+			}
+		}
+	}
+}
+
+func sprintProg(a, b int32, op string) string {
+	return "\t\tldc " + itoa(int(a)) + "\n\t\tldc " + itoa(int(b)) + "\n\t\t" + op + "\n\t\tstl 0\n\t\tstopp\n"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

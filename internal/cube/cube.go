@@ -1,0 +1,94 @@
+// Package cube implements binary n-cube topology mathematics: node
+// numbering, neighbor relations, e-cube routing, and the application
+// mappings of the paper's Figure 3 — rings, meshes (up to dimension n),
+// cylinders, toroids, and radix-2 FFT butterfly connections.
+//
+// Processors are numbered 0..2^n−1; two are directly connected exactly
+// when their numbers differ in one binary digit, so the maximum distance
+// between any two of the 2^n processors is n and long-range communication
+// cost grows only as O(log₂ N).
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxDim is the largest configuration the T Series supports: a 14-cube
+// (there are enough links per node for 14 cube connections).
+const MaxDim = 14
+
+// Nodes reports the number of processors in an n-cube.
+func Nodes(n int) int { return 1 << uint(n) }
+
+// DimOf returns the cube dimension for a node count that is a power of
+// two, or an error otherwise.
+func DimOf(nodes int) (int, error) {
+	if nodes <= 0 || nodes&(nodes-1) != 0 {
+		return 0, fmt.Errorf("cube: %d is not a power of two", nodes)
+	}
+	return bits.TrailingZeros(uint(nodes)), nil
+}
+
+// Neighbor returns the node adjacent to id across dimension d.
+func Neighbor(id, d int) int { return id ^ (1 << uint(d)) }
+
+// Neighbors lists all n neighbors of id in an n-cube, dimension order.
+func Neighbors(id, n int) []int {
+	out := make([]int, n)
+	for d := 0; d < n; d++ {
+		out[d] = Neighbor(id, d)
+	}
+	return out
+}
+
+// Adjacent reports whether a and b are directly connected (differ in
+// exactly one bit).
+func Adjacent(a, b int) bool {
+	x := a ^ b
+	return x != 0 && x&(x-1) == 0
+}
+
+// Distance is the hop count between a and b: the Hamming distance.
+func Distance(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// Route returns the e-cube (dimension-ordered) path from src to dst,
+// inclusive of both endpoints. Correcting differing bits lowest dimension
+// first makes the route minimal and deadlock-free.
+func Route(src, dst int) []int {
+	path := []int{src}
+	cur := src
+	diff := src ^ dst
+	for d := 0; diff != 0; d++ {
+		if diff&(1<<uint(d)) != 0 {
+			cur ^= 1 << uint(d)
+			path = append(path, cur)
+			diff &^= 1 << uint(d)
+		}
+	}
+	return path
+}
+
+// Gray returns the i-th binary-reflected Gray code.
+func Gray(i int) int { return i ^ (i >> 1) }
+
+// GrayInverse returns the rank of Gray code g.
+func GrayInverse(g int) int {
+	n := 0
+	for ; g != 0; g >>= 1 {
+		n ^= g
+	}
+	return n
+}
+
+// Ring maps a ring of 2^n positions onto an n-cube with dilation 1: the
+// returned slice gives the node for each ring position, and consecutive
+// positions (cyclically) are cube neighbors.
+func Ring(n int) []int {
+	size := Nodes(n)
+	out := make([]int, size)
+	for i := range out {
+		out[i] = Gray(i)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mesh is an embedding of a k-dimensional mesh (or torus — Gray coding
+// gives wraparound adjacency for free) into a binary n-cube with dilation
+// 1. Each mesh extent must be a power of two; the sum of the per-axis
+// log-extents must not exceed the cube dimension.
+type Mesh struct {
+	Extents []int // size along each axis
+	dims    []int // log2 of each extent
+	offs    []int // starting bit position of each axis's subcube field
+	n       int   // cube dimension actually used
+}
+
+// NewMesh plans a mesh embedding. extents lists the size of each axis.
+func NewMesh(extents ...int) (*Mesh, error) {
+	m := &Mesh{Extents: append([]int(nil), extents...)}
+	off := 0
+	for _, e := range extents {
+		if e <= 0 || e&(e-1) != 0 {
+			return nil, fmt.Errorf("cube: mesh extent %d is not a power of two", e)
+		}
+		d := bits.TrailingZeros(uint(e))
+		m.dims = append(m.dims, d)
+		m.offs = append(m.offs, off)
+		off += d
+	}
+	if off > MaxDim {
+		return nil, fmt.Errorf("cube: mesh needs a %d-cube, beyond the %d-cube maximum", off, MaxDim)
+	}
+	m.n = off
+	return m, nil
+}
+
+// CubeDim reports the cube dimension the embedding occupies.
+func (m *Mesh) CubeDim() int { return m.n }
+
+// Node maps mesh coordinates to a cube node: each axis contributes the
+// Gray code of its coordinate in its own bit field, so stepping ±1 along
+// any axis (with wraparound) changes exactly one cube bit.
+func (m *Mesh) Node(coord ...int) (int, error) {
+	if len(coord) != len(m.dims) {
+		return 0, fmt.Errorf("cube: got %d coordinates for a %d-axis mesh", len(coord), len(m.dims))
+	}
+	id := 0
+	for i, c := range coord {
+		if c < 0 || c >= m.Extents[i] {
+			return 0, fmt.Errorf("cube: coordinate %d out of range on axis %d", c, i)
+		}
+		id |= Gray(c) << uint(m.offs[i])
+	}
+	return id, nil
+}
+
+// Coord inverts Node.
+func (m *Mesh) Coord(id int) []int {
+	out := make([]int, len(m.dims))
+	for i := range m.dims {
+		field := (id >> uint(m.offs[i])) & (m.Extents[i] - 1)
+		out[i] = GrayInverse(field)
+	}
+	return out
+}
+
+// Butterfly describes the radix-2 FFT communication pattern on an n-cube:
+// at stage s (0-based, counting from the highest dimension down), node i
+// exchanges with its neighbor across dimension n−1−s. Every exchange is
+// between direct cube neighbors, which is the Figure 3 "FFT" mapping.
+type Butterfly struct {
+	N int // cube dimension
+}
+
+// Partner returns the node that id exchanges with at the given stage.
+func (b Butterfly) Partner(id, stage int) (int, error) {
+	if stage < 0 || stage >= b.N {
+		return 0, fmt.Errorf("cube: FFT stage %d out of range for %d-cube", stage, b.N)
+	}
+	return Neighbor(id, b.N-1-stage), nil
+}
+
+// Stages reports the number of butterfly stages (= cube dimension).
+func (b Butterfly) Stages() int { return b.N }
+
+// BroadcastTree returns, for every node, its parent in the binomial
+// spanning tree rooted at root (parent[root] = root) together with each
+// node's depth. A broadcast forwarded along this tree reaches all 2^n
+// nodes in at most n link hops.
+func BroadcastTree(root, n int) (parent, depth []int) {
+	size := Nodes(n)
+	parent = make([]int, size)
+	depth = make([]int, size)
+	for id := 0; id < size; id++ {
+		rel := id ^ root
+		if rel == 0 {
+			parent[id] = root
+			depth[id] = 0
+			continue
+		}
+		// Parent clears the highest set bit of the relative address.
+		hb := bits.Len(uint(rel)) - 1
+		parent[id] = id ^ 1<<uint(hb)
+		depth[id] = bits.OnesCount(uint(rel))
+	}
+	return parent, depth
+}
+
+// Children lists the nodes that id forwards to in the binomial broadcast
+// tree rooted at root (dimension order, highest first).
+func Children(id, root, n int) []int {
+	rel := id ^ root
+	low := -1
+	if rel != 0 {
+		low = bits.Len(uint(rel)) - 1
+	}
+	var out []int
+	for d := low + 1; d < n; d++ {
+		out = append(out, id^1<<uint(d))
+	}
+	return out
+}
+
+// SubcubeOf reports the index of the 2^k-node subcube containing id (the
+// T Series groups eight nodes — a 3-subcube — into each module).
+func SubcubeOf(id, k int) int { return id >> uint(k) }

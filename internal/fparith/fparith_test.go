@@ -1,0 +1,473 @@
+package fparith
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// isDenormal64 reports whether v is a nonzero number below the normal
+// range (where flush-to-zero diverges from IEEE).
+func isDenormal64(v float64) bool {
+	return v != 0 && math.Abs(v) < math.SmallestNonzeroFloat64*float64(1<<52)
+}
+
+func isDenormal32(v float32) bool {
+	return v != 0 && math.Abs(float64(v)) < 1.1754944e-38
+}
+
+// f64 builds an operand from a native value.
+func f64(v float64) F64 { return FromFloat64(v) }
+
+func TestAdd64Basic(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{1, 2, 3},
+		{0.5, 0.25, 0.75},
+		{1e300, 1e300, 0}, // want filled at runtime
+		{-1, 1, 0},
+		{1, -1, 0},
+		{3.141592653589793, 2.718281828459045, 0}, // runtime
+		{1e-200, 1e200, 1e200},
+		{123456789.123456789, -123456789.0, 0}, // runtime
+		{0, 0, 0},
+		{-0.0, 0, 0},
+		{math.Inf(1), 5, math.Inf(1)},
+		{math.Inf(-1), 5, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		want := c.want
+		if want == 0 {
+			want = c.a + c.b // rows marked runtime: native runtime rounding is the oracle
+		}
+		got := Add64(f64(c.a), f64(c.b)).Float64()
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("Add64(%g, %g) = %g, want %g", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestAdd64SpecialCases(t *testing.T) {
+	nan := f64(math.NaN())
+	inf := f64(math.Inf(1))
+	ninf := f64(math.Inf(-1))
+	if !IsNaN64(Add64(nan, f64(1))) {
+		t.Error("NaN + 1 should be NaN")
+	}
+	if !IsNaN64(Add64(inf, ninf)) {
+		t.Error("Inf + -Inf should be NaN")
+	}
+	if !IsNaN64(Sub64(inf, inf)) {
+		t.Error("Inf - Inf should be NaN")
+	}
+	if Add64(inf, inf) != inf {
+		t.Error("Inf + Inf should be Inf")
+	}
+	// Signed zero rules.
+	nz := f64(math.Copysign(0, -1))
+	z := f64(0)
+	if Add64(nz, nz) != nz {
+		t.Error("-0 + -0 should be -0")
+	}
+	if Add64(nz, z) != z {
+		t.Error("-0 + +0 should be +0")
+	}
+}
+
+func TestMul64Basic(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{2, 3, 6},
+		{1.5, 1.5, 2.25},
+		{-2, 3, -6},
+		{1e200, 1e200, math.Inf(1)},
+		{1e-200, 1e-200, 0}, // flush to zero (true result ~1e-400 is sub-denormal anyway)
+		{0, 5, 0},
+		{-0.0, 5, math.Copysign(0, -1)},
+		{math.Pi, math.E, 0}, // runtime
+	}
+	for _, c := range cases {
+		want := c.want
+		if want == 0 {
+			want = c.a * c.b
+		}
+		got := Mul64(f64(c.a), f64(c.b)).Float64()
+		if got != want {
+			t.Errorf("Mul64(%g, %g) = %g, want %g", c.a, c.b, got, want)
+		}
+	}
+	if !IsNaN64(Mul64(f64(math.Inf(1)), f64(0))) {
+		t.Error("Inf * 0 should be NaN")
+	}
+}
+
+func TestDiv64Basic(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{6, 3, 2},
+		{1, 3, 1.0 / 3.0},
+		{-1, 2, -0.5},
+		{1, 0, math.Inf(1)},
+		{-1, 0, math.Inf(-1)},
+		{0, 5, 0},
+		{math.Pi, math.E, 0}, // runtime
+		{1e308, 1e-10, math.Inf(1)},
+	}
+	for _, c := range cases {
+		want := c.want
+		if want == 0 {
+			want = c.a / c.b
+		}
+		got := Div64(f64(c.a), f64(c.b)).Float64()
+		if got != want {
+			t.Errorf("Div64(%g, %g) = %g, want %g", c.a, c.b, got, want)
+		}
+	}
+	if !IsNaN64(Div64(f64(0), f64(0))) {
+		t.Error("0/0 should be NaN")
+	}
+	if !IsNaN64(Div64(f64(math.Inf(1)), f64(math.Inf(1)))) {
+		t.Error("Inf/Inf should be NaN")
+	}
+}
+
+func TestFlushToZero(t *testing.T) {
+	// A denormal input flushes to zero on load.
+	denorm := math.Float64frombits(1) // smallest positive denormal
+	if FromFloat64(denorm) != 0 {
+		t.Error("denormal input did not flush to zero")
+	}
+	// A result in the denormal range flushes to zero.
+	tiny := f64(math.Float64frombits(0x0010000000000000)) // smallest normal
+	half := f64(0.5)
+	if got := Mul64(tiny, half); got != 0 {
+		t.Errorf("smallest-normal * 0.5 = %x, want flush to +0", uint64(got))
+	}
+	// Negative flush keeps the sign.
+	if got := Mul64(Neg64(tiny), half); got.Float64() != 0 || uint64(got)>>63 != 1 {
+		t.Errorf("neg flush = %x, want -0", uint64(got))
+	}
+}
+
+func TestCmp64(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want int
+	}{
+		{1, 2, -1},
+		{2, 1, 1},
+		{1, 1, 0},
+		{-1, 1, -1},
+		{-2, -1, -1},
+		{0, math.Copysign(0, -1), 0},
+		{math.Inf(1), 1e308, 1},
+		{math.Inf(-1), -1e308, -1},
+		{math.NaN(), 1, 2},
+		{1, math.NaN(), 2},
+	}
+	for _, c := range cases {
+		if got := Cmp64(f64(c.a), f64(c.b)); got != c.want {
+			t.Errorf("Cmp64(%g, %g) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	// 32↔64 round trips.
+	vals := []float32{0, 1, -1, 3.14159, 1e30, -1e-30, 65504}
+	for _, v := range vals {
+		if got := To32(To64(FromFloat32(v))).Float32(); got != v {
+			t.Errorf("roundtrip 32→64→32 of %g = %g", v, got)
+		}
+	}
+	// 64→32 rounds.
+	if got := To32(f64(1.0000000001)).Float32(); got != float32(1.0000000001) {
+		t.Errorf("To32 rounding: got %g", got)
+	}
+	if got := To32(f64(1e300)); !IsInf32(got) {
+		t.Error("To32 of 1e300 should overflow to Inf")
+	}
+	// Int conversions.
+	for _, v := range []int64{0, 1, -1, 123456789, -987654321, math.MaxInt32, math.MinInt32, 1 << 52, -(1 << 52), math.MaxInt64, math.MinInt64} {
+		f := FromInt64(v)
+		if f.Float64() != float64(v) {
+			t.Errorf("FromInt64(%d) = %g, want %g", v, f.Float64(), float64(v))
+		}
+	}
+	for _, v := range []float64{0, 1.9, -1.9, 2.5, -2.5, 1e18, -1e18} {
+		if got, want := ToInt64(f64(v)), int64(v); got != want {
+			t.Errorf("ToInt64(%g) = %d, want %d", v, got, want)
+		}
+	}
+	if ToInt64(f64(1e300)) != math.MaxInt64 {
+		t.Error("ToInt64 overflow should saturate")
+	}
+	if ToInt64(f64(math.NaN())) != 0 {
+		t.Error("ToInt64(NaN) should be 0")
+	}
+}
+
+func TestSqrt64(t *testing.T) {
+	cases := []float64{0, 1, 2, 4, 9, 0.25, 1e300, 1e-300, 2.2250738585072014e-308, math.Pi, 123456789.123}
+	for _, v := range cases {
+		got := Sqrt64(f64(v)).Float64()
+		want := math.Sqrt(v)
+		if got != want {
+			t.Errorf("Sqrt64(%g) = %g, want %g", v, got, want)
+		}
+	}
+	if !IsNaN64(Sqrt64(f64(-1))) {
+		t.Error("sqrt(-1) should be NaN")
+	}
+	if !IsInf64(Sqrt64(f64(math.Inf(1)))) {
+		t.Error("sqrt(Inf) should be Inf")
+	}
+	if Sqrt64(f64(math.Copysign(0, -1))).Float64() != 0 {
+		t.Error("sqrt(-0) should be -0/0")
+	}
+}
+
+// randomF64 generates interesting bit patterns: mostly random normals,
+// plus boundary exponents.
+func randomF64(r *rand.Rand) float64 {
+	for {
+		bitsv := r.Uint64()
+		v := math.Float64frombits(bitsv)
+		if math.IsNaN(v) || isDenormal64(v) {
+			continue
+		}
+		return v
+	}
+}
+
+func TestQuickAdd64MatchesNative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a, b := randomF64(r), randomF64(r)
+		want := a + b
+		if isDenormal64(want) {
+			continue // flush-to-zero intentionally diverges
+		}
+		got := Add64(f64(a), f64(b)).Float64()
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("Add64(%x, %x): got %x want %x",
+				math.Float64bits(a), math.Float64bits(b),
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestQuickSub64MatchesNative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		a, b := randomF64(r), randomF64(r)
+		want := a - b
+		if isDenormal64(want) {
+			continue
+		}
+		got := Sub64(f64(a), f64(b)).Float64()
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("Sub64(%x, %x): got %x want %x",
+				math.Float64bits(a), math.Float64bits(b),
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestQuickMul64MatchesNative(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		a, b := randomF64(r), randomF64(r)
+		want := a * b
+		if isDenormal64(want) {
+			continue
+		}
+		got := Mul64(f64(a), f64(b)).Float64()
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("Mul64(%x, %x): got %x want %x",
+				math.Float64bits(a), math.Float64bits(b),
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestQuickDiv64MatchesNative(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		a, b := randomF64(r), randomF64(r)
+		want := a / b
+		if isDenormal64(want) {
+			continue
+		}
+		got := Div64(f64(a), f64(b)).Float64()
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("Div64(%x, %x): got %x want %x",
+				math.Float64bits(a), math.Float64bits(b),
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestQuickSqrt64MatchesNative(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		a := math.Abs(randomF64(r))
+		want := math.Sqrt(a)
+		got := Sqrt64(f64(a)).Float64()
+		if got != want {
+			t.Fatalf("Sqrt64(%x): got %x want %x",
+				math.Float64bits(a), math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestQuick32MatchesNative(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	rnd32 := func() float32 {
+		for {
+			v := math.Float32frombits(r.Uint32())
+			if v != v || isDenormal32(v) { // NaN or denormal
+				continue
+			}
+			return v
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := rnd32(), rnd32()
+		if w := a + b; !isDenormal32(w) {
+			if g := Add32(FromFloat32(a), FromFloat32(b)).Float32(); g != w && !(g != g && w != w) {
+				t.Fatalf("Add32(%g,%g) got %g want %g", a, b, g, w)
+			}
+		}
+		if w := a * b; !isDenormal32(w) {
+			if g := Mul32(FromFloat32(a), FromFloat32(b)).Float32(); g != w && !(g != g && w != w) {
+				t.Fatalf("Mul32(%g,%g) got %g want %g", a, b, g, w)
+			}
+		}
+		if w := a / b; !isDenormal32(w) {
+			if g := Div32(FromFloat32(a), FromFloat32(b)).Float32(); g != w && !(g != g && w != w) {
+				t.Fatalf("Div32(%g,%g) got %g want %g", a, b, g, w)
+			}
+		}
+	}
+}
+
+func TestQuickCmpMatchesNative(t *testing.T) {
+	f := func(ab [2]uint64) bool {
+		a := math.Float64frombits(ab[0])
+		b := math.Float64frombits(ab[1])
+		if isDenormal64(a) || isDenormal64(b) {
+			return true
+		}
+		got := Cmp64(F64(ab[0]), F64(ab[1]))
+		switch {
+		case math.IsNaN(a) || math.IsNaN(b):
+			return got == 2
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(ab [2]uint64) bool {
+		a, b := F64(ab[0]), F64(ab[1])
+		return Add64(a, b) == Add64(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(ab [2]uint64) bool {
+		a, b := F64(ab[0]), F64(ab[1])
+		return Mul64(a, b) == Mul64(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNegAbs(t *testing.T) {
+	f := func(x uint64) bool {
+		a := F64(x)
+		if Neg64(Neg64(a)) != a {
+			return false
+		}
+		abs := Abs64(a)
+		return uint64(abs)>>63 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConversionRoundTrip(t *testing.T) {
+	// Any F32 survives 32→64→32 exactly (64 has strictly more precision
+	// and range).
+	f := func(x uint32) bool {
+		a := FromFloat32(math.Float32frombits(x))
+		back := To32(To64(a))
+		if IsNaN32(a) {
+			return IsNaN32(back)
+		}
+		return back == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessAndEqHelpers(t *testing.T) {
+	a, b := f64(1.5), f64(2.5)
+	if !Less64(a, b) || Less64(b, a) || Less64(a, a) {
+		t.Fatal("Less64 wrong")
+	}
+	if !Eq64(a, a) || Eq64(a, b) {
+		t.Fatal("Eq64 wrong")
+	}
+	nan := f64(math.NaN())
+	if Less64(nan, a) || Eq64(nan, nan) {
+		t.Fatal("NaN comparisons must be false")
+	}
+}
+
+func TestIsZeroAndClassifiers(t *testing.T) {
+	if !IsZero64(0) || !IsZero64(f64(math.Copysign(0, -1))) {
+		t.Fatal("zero classification wrong")
+	}
+	if IsZero64(f64(1)) || IsNaN64(f64(1)) || IsInf64(f64(1)) {
+		t.Fatal("one misclassified")
+	}
+	if !IsNaN32(FromFloat32(float32(math.NaN()))) {
+		t.Fatal("NaN32 missed")
+	}
+	if !IsZero32(FromFloat32(0)) || IsInf32(FromFloat32(1)) {
+		t.Fatal("32-bit classifiers wrong")
+	}
+}
+
+func TestQuickSub32MatchesNative(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 10000; i++ {
+		a := math.Float32frombits(r.Uint32())
+		b := math.Float32frombits(r.Uint32())
+		if a != a || b != b || isDenormal32(a) || isDenormal32(b) {
+			continue
+		}
+		w := a - b
+		if isDenormal32(w) {
+			continue
+		}
+		g := Sub32(FromFloat32(a), FromFloat32(b)).Float32()
+		if g != w && !(g != g && w != w) {
+			t.Fatalf("Sub32(%g,%g) = %g, want %g", a, b, g, w)
+		}
+	}
+}

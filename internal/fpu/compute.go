@@ -1,0 +1,307 @@
+package fpu
+
+import (
+	"fmt"
+
+	"tseries/internal/fparith"
+	"tseries/internal/memory"
+)
+
+// compute performs the element arithmetic of a validated vector form.
+// Timing was already charged by Run; this produces the bit-exact values
+// the hardware would deliver, including the deterministic reduction order
+// imposed by the adder's feedback accumulators.
+func (u *Unit) compute(op Op) (Result, error) {
+	if op.Prec == P64 {
+		return u.compute64(op)
+	}
+	return u.compute32(op)
+}
+
+// note updates the status flags from a freshly produced 64-bit result.
+func (s *Status) note64(v fparith.F64) {
+	if fparith.IsNaN64(v) {
+		s.Invalid = true
+	}
+	if fparith.IsInf64(v) {
+		s.Overflow = true
+	}
+}
+
+func (s *Status) note32(v fparith.F32) {
+	if fparith.IsNaN32(v) {
+		s.Invalid = true
+	}
+	if fparith.IsInf32(v) {
+		s.Overflow = true
+	}
+}
+
+func (u *Unit) compute64(op Op) (Result, error) {
+	var res Result
+	base := func(row int) int { return row * memory.F64PerRow }
+	x := func(i int) fparith.F64 { return u.mem.PeekF64(base(op.X) + i) }
+	y := func(i int) fparith.F64 { return u.mem.PeekF64(base(op.Y) + i) }
+	setZ := func(i int, v fparith.F64) {
+		res.Status.note64(v)
+		u.mem.PokeF64(base(op.Z)+i, v)
+	}
+	n := op.N
+	res.Flops = n * op.Form.flopsPerElement()
+
+	switch op.Form {
+	case VAdd:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Add64(x(i), y(i)))
+		}
+	case VSub:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Sub64(x(i), y(i)))
+		}
+	case VMul:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Mul64(x(i), y(i)))
+		}
+	case SAXPY:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Add64(fparith.Mul64(op.A, x(i)), y(i)))
+		}
+	case VSMul:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Mul64(op.A, x(i)))
+		}
+	case VSAdd:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Add64(op.A, x(i)))
+		}
+	case VNeg:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Neg64(x(i)))
+		}
+	case VAbs:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Abs64(x(i)))
+		}
+	case VCmp:
+		for i := 0; i < n; i++ {
+			switch fparith.Cmp64(x(i), y(i)) {
+			case -1:
+				setZ(i, fparith.FromInt64(-1))
+			case 0:
+				setZ(i, 0)
+			case 1:
+				setZ(i, fparith.FromInt64(1))
+			default:
+				res.Status.Invalid = true
+				setZ(i, fparith.FromFloat64(nan64()))
+			}
+		}
+	case Dot:
+		res.Scalar = u.reduce64(n, func(i int) fparith.F64 {
+			v := fparith.Mul64(x(i), y(i))
+			res.Status.note64(v)
+			return v
+		})
+		res.Status.note64(res.Scalar)
+	case Sum:
+		res.Scalar = u.reduce64(n, x)
+		res.Status.note64(res.Scalar)
+	case VMax, VMin:
+		want := 1
+		if op.Form == VMin {
+			want = -1
+		}
+		best := x(0)
+		for i := 1; i < n; i++ {
+			c := fparith.Cmp64(x(i), best)
+			if c == 2 {
+				res.Status.Invalid = true
+				continue
+			}
+			if c == want {
+				best = x(i)
+			}
+		}
+		res.Scalar = best
+	case Cvt64to32:
+		for i := 0; i < n; i++ {
+			v := fparith.To32(x(i))
+			res.Status.note32(v)
+			u.mem.PokeF32(op.Z*memory.F32PerRow+i, v)
+		}
+	case Cvt32to64:
+		for i := 0; i < n; i++ {
+			v := fparith.To64(u.mem.PeekF32(op.X*memory.F32PerRow + i))
+			res.Status.note64(v)
+			u.mem.PokeF64(base(op.Z)+i, v)
+		}
+	default:
+		return res, fmt.Errorf("fpu: unknown form %v", op.Form)
+	}
+	return res, nil
+}
+
+// reduce64 models the adder feedback path: while streaming, the six-stage
+// adder keeps six interleaved partial sums (element i lands in
+// accumulator i mod depth); on drain the partials are combined in
+// accumulator order. This order is deterministic and reproducible — the
+// bit pattern of a DOT or SUM on the simulator never varies between runs.
+func (u *Unit) reduce64(n int, elem func(int) fparith.F64) fparith.F64 {
+	d := u.Adder.Depth(P64)
+	acc := make([]fparith.F64, d)
+	seen := make([]bool, d)
+	for i := 0; i < n; i++ {
+		j := i % d
+		if !seen[j] {
+			acc[j] = elem(i)
+			seen[j] = true
+		} else {
+			acc[j] = fparith.Add64(acc[j], elem(i))
+		}
+	}
+	var total fparith.F64
+	first := true
+	for j := 0; j < d; j++ {
+		if !seen[j] {
+			continue
+		}
+		if first {
+			total = acc[j]
+			first = false
+		} else {
+			total = fparith.Add64(total, acc[j])
+		}
+	}
+	return total
+}
+
+func (u *Unit) reduce32(n int, elem func(int) fparith.F32) fparith.F32 {
+	d := u.Adder.Depth(P32)
+	acc := make([]fparith.F32, d)
+	seen := make([]bool, d)
+	for i := 0; i < n; i++ {
+		j := i % d
+		if !seen[j] {
+			acc[j] = elem(i)
+			seen[j] = true
+		} else {
+			acc[j] = fparith.Add32(acc[j], elem(i))
+		}
+	}
+	var total fparith.F32
+	first := true
+	for j := 0; j < d; j++ {
+		if !seen[j] {
+			continue
+		}
+		if first {
+			total = acc[j]
+			first = false
+		} else {
+			total = fparith.Add32(total, acc[j])
+		}
+	}
+	return total
+}
+
+func nan64() float64 {
+	v := 0.0
+	return v / v
+}
+
+func (u *Unit) compute32(op Op) (Result, error) {
+	var res Result
+	base := func(row int) int { return row * memory.F32PerRow }
+	a32 := fparith.To32(op.A)
+	x := func(i int) fparith.F32 { return u.mem.PeekF32(base(op.X) + i) }
+	y := func(i int) fparith.F32 { return u.mem.PeekF32(base(op.Y) + i) }
+	setZ := func(i int, v fparith.F32) {
+		res.Status.note32(v)
+		u.mem.PokeF32(base(op.Z)+i, v)
+	}
+	n := op.N
+	res.Flops = n * op.Form.flopsPerElement()
+
+	switch op.Form {
+	case VAdd:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Add32(x(i), y(i)))
+		}
+	case VSub:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Sub32(x(i), y(i)))
+		}
+	case VMul:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Mul32(x(i), y(i)))
+		}
+	case SAXPY:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Add32(fparith.Mul32(a32, x(i)), y(i)))
+		}
+	case VSMul:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Mul32(a32, x(i)))
+		}
+	case VSAdd:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Add32(a32, x(i)))
+		}
+	case VNeg:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Neg32(x(i)))
+		}
+	case VAbs:
+		for i := 0; i < n; i++ {
+			setZ(i, fparith.Abs32(x(i)))
+		}
+	case VCmp:
+		for i := 0; i < n; i++ {
+			switch fparith.Cmp32(x(i), y(i)) {
+			case -1:
+				setZ(i, fparith.FromFloat32(-1))
+			case 0:
+				setZ(i, 0)
+			case 1:
+				setZ(i, fparith.FromFloat32(1))
+			default:
+				res.Status.Invalid = true
+				setZ(i, fparith.To32(fparith.FromFloat64(nan64())))
+			}
+		}
+	case Dot:
+		s := u.reduce32(n, func(i int) fparith.F32 {
+			v := fparith.Mul32(x(i), y(i))
+			res.Status.note32(v)
+			return v
+		})
+		res.Status.note32(s)
+		res.Scalar = fparith.To64(s)
+	case Sum:
+		s := u.reduce32(n, x)
+		res.Status.note32(s)
+		res.Scalar = fparith.To64(s)
+	case VMax, VMin:
+		want := 1
+		if op.Form == VMin {
+			want = -1
+		}
+		best := x(0)
+		for i := 1; i < n; i++ {
+			c := fparith.Cmp32(x(i), best)
+			if c == 2 {
+				res.Status.Invalid = true
+				continue
+			}
+			if c == want {
+				best = x(i)
+			}
+		}
+		res.Scalar = fparith.To64(best)
+	case Cvt64to32, Cvt32to64:
+		return res, fmt.Errorf("fpu: conversion forms run in 64-bit mode")
+	default:
+		return res, fmt.Errorf("fpu: unknown form %v", op.Form)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package fpu
+
+// Form identifies one of the micro-sequencer's preprogrammed vector
+// arithmetic operations.
+type Form int
+
+// The vector forms. X and Y are vector operands (memory rows), A is a
+// scalar held in a functional-unit input register, Z is the output vector.
+const (
+	// VAdd computes Z[i] = X[i] + Y[i] (adder only).
+	VAdd Form = iota
+	// VSub computes Z[i] = X[i] - Y[i].
+	VSub
+	// VMul computes Z[i] = X[i] * Y[i] (multiplier only).
+	VMul
+	// SAXPY computes Z[i] = A*X[i] + Y[i], chaining the multiplier into
+	// the adder: two results per cycle once both pipes are full.
+	SAXPY
+	// VSMul computes Z[i] = A * X[i] (scalar held in the multiplier).
+	VSMul
+	// VSAdd computes Z[i] = A + X[i] (scalar held in the adder).
+	VSAdd
+	// VNeg computes Z[i] = -X[i].
+	VNeg
+	// VAbs computes Z[i] = |X[i]|.
+	VAbs
+	// Dot computes the scalar Σ X[i]*Y[i] using the multiplier chained
+	// into the adder with the adder output fed back as an input.
+	Dot
+	// Sum computes the scalar Σ X[i] using adder feedback.
+	Sum
+	// VMax computes the scalar max of X (adder comparison path).
+	VMax
+	// VMin computes the scalar min of X.
+	VMin
+	// VCmp compares X and Y elementwise, writing -1/0/+1 as floats to Z.
+	VCmp
+	// Cvt64to32 narrows X (64-bit) into Z (32-bit); an adder conversion.
+	Cvt64to32
+	// Cvt32to64 widens X (32-bit) into Z (64-bit).
+	Cvt32to64
+)
+
+var formNames = map[Form]string{
+	VAdd: "VADD", VSub: "VSUB", VMul: "VMUL", SAXPY: "SAXPY",
+	VSMul: "VSMUL", VSAdd: "VSADD", VNeg: "VNEG", VAbs: "VABS",
+	Dot: "DOT", Sum: "SUM", VMax: "VMAX", VMin: "VMIN", VCmp: "VCMP",
+	Cvt64to32: "CVT64TO32", Cvt32to64: "CVT32TO64",
+}
+
+func (f Form) String() string {
+	if s, ok := formNames[f]; ok {
+		return s
+	}
+	return "FORM?"
+}
+
+// usesX reports whether the form reads vector operand X (all do).
+func (f Form) usesX() bool { return true }
+
+// usesY reports whether the form reads vector operand Y.
+func (f Form) usesY() bool {
+	switch f {
+	case VAdd, VSub, VMul, SAXPY, Dot, VCmp:
+		return true
+	}
+	return false
+}
+
+// writesZ reports whether the form produces a vector result.
+func (f Form) writesZ() bool {
+	switch f {
+	case Dot, Sum, VMax, VMin:
+		return false
+	}
+	return true
+}
+
+// reduction reports whether the form produces a scalar via feedback.
+func (f Form) reduction() bool { return !f.writesZ() }
+
+// usesAdder reports whether the adder pipeline participates.
+func (f Form) usesAdder() bool {
+	switch f {
+	case VMul, VSMul:
+		return false
+	}
+	return true
+}
+
+// usesMultiplier reports whether the multiplier pipeline participates.
+func (f Form) usesMultiplier() bool {
+	switch f {
+	case VMul, VSMul, SAXPY, Dot:
+		return true
+	}
+	return false
+}
+
+// flopsPerElement reports how many floating-point operations the form
+// performs per element, for MFLOPS accounting.
+func (f Form) flopsPerElement() int {
+	switch f {
+	case SAXPY, Dot:
+		return 2
+	case VNeg, VAbs, VCmp, Cvt64to32, Cvt32to64, VMax, VMin:
+		return 1 // counted as one functional-unit operation
+	default:
+		return 1
+	}
+}

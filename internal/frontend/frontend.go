@@ -1,0 +1,126 @@
+// Package frontend models the host computer attached to a T Series: the
+// machine has no operating system of its own — a front end loads code
+// and data into node memories through each module's system board (§III:
+// the system board "provides input/output and management functions"),
+// starts the control processors, and collects results the same way.
+//
+// Because every module is identical and has identical connections, the
+// front end treats any size machine uniformly — the paper's homogeneity
+// argument applied to system management.
+package frontend
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tseries/internal/machine"
+	"tseries/internal/module"
+	"tseries/internal/sim"
+)
+
+// Well-known addresses of the boot protocol.
+const (
+	// BootCodeBase is where the front end loads each node's program.
+	BootCodeBase = 0x10000
+	// BootWorkspace is each program's initial workspace (word index).
+	BootWorkspace = 0x8000
+	// NodeIDWord is the word where the front end writes the node's cube
+	// address before starting it, so SPMD programs can branch on it.
+	NodeIDWord = 0x7F00
+	// NodesWord holds the total node count.
+	NodesWord = 0x7F01
+)
+
+// FrontEnd drives one machine.
+type FrontEnd struct {
+	M *machine.Machine
+}
+
+// New attaches a front end to a machine.
+func New(m *machine.Machine) *FrontEnd { return &FrontEnd{M: m} }
+
+// moduleOf locates the module and local index of a global node id.
+func (f *FrontEnd) moduleOf(nodeID int) (*module.Module, int) {
+	return f.M.Modules[nodeID/module.NodesPerModule], nodeID % module.NodesPerModule
+}
+
+// LoadAll streams the same program image into every node's memory at
+// BootCodeBase, all modules in parallel (each through its own system
+// board), and writes each node's identity words. It blocks until every
+// node is loaded.
+func (f *FrontEnd) LoadAll(p *sim.Proc, code []byte) error {
+	k := f.M.K
+	errs := make([]error, len(f.M.Modules))
+	done := sim.NewChan(k, "frontend/load", len(f.M.Modules))
+	for mi, mod := range f.M.Modules {
+		idx, mm := mi, mod
+		k.Go(fmt.Sprintf("frontend/load/mod%d", idx), func(lp *sim.Proc) {
+			defer done.Send(lp, struct{}{})
+			for local := range mm.Nodes {
+				global := idx*module.NodesPerModule + local
+				if err := mm.LoadNodeMemory(lp, local, BootCodeBase, code); err != nil {
+					errs[idx] = err
+					return
+				}
+				ident := make([]byte, 8)
+				binary.LittleEndian.PutUint32(ident[0:], uint32(global))
+				binary.LittleEndian.PutUint32(ident[4:], uint32(len(f.M.Nodes)))
+				if err := mm.LoadNodeMemory(lp, local, NodeIDWord*4, ident); err != nil {
+					errs[idx] = err
+					return
+				}
+			}
+		})
+	}
+	for range f.M.Modules {
+		done.Recv(p)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartAll boots every control processor at BootCodeBase and returns the
+// spawned processes (callers typically just let the kernel run them).
+func (f *FrontEnd) StartAll() []*sim.Proc {
+	procs := make([]*sim.Proc, len(f.M.Nodes))
+	for i, nd := range f.M.Nodes {
+		procs[i] = nd.CP.Go(BootCodeBase, BootWorkspace)
+	}
+	return procs
+}
+
+// Collect dumps n bytes from the given byte offset of every node, via
+// the system boards, modules in parallel.
+func (f *FrontEnd) Collect(p *sim.Proc, off, n int) ([][]byte, error) {
+	k := f.M.K
+	out := make([][]byte, len(f.M.Nodes))
+	errs := make([]error, len(f.M.Modules))
+	done := sim.NewChan(k, "frontend/collect", len(f.M.Modules))
+	for mi, mod := range f.M.Modules {
+		idx, mm := mi, mod
+		k.Go(fmt.Sprintf("frontend/collect/mod%d", idx), func(cp *sim.Proc) {
+			defer done.Send(cp, struct{}{})
+			for local := range mm.Nodes {
+				data, err := mm.DumpNodeMemory(cp, local, off, n)
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+				out[idx*module.NodesPerModule+local] = data
+			}
+		})
+	}
+	for range f.M.Modules {
+		done.Recv(p)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

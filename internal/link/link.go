@@ -1,0 +1,165 @@
+// Package link models the T Series inter-node communication hardware:
+// four bidirectional serial links per control processor, each carrying
+// every 8-bit byte with two synchronisation bits and one stop bit and
+// requiring two acknowledge bits from the receiver — a maximum
+// unidirectional payload bandwidth of just over 0.5 MB/s per link, over
+// 4 MB/s for the four links together. Transfers run by DMA with a startup
+// time of about 5 µs.
+//
+// Each physical link is multiplexed four ways, giving 16 bidirectional
+// sublinks per node that divide the parent link's bandwidth. Sublinks are
+// the unit of wiring: the machine builder cross-connects sublink pairs to
+// realise the hypercube, the system-board thread, and external I/O.
+package link
+
+import (
+	"fmt"
+
+	"tseries/internal/sim"
+)
+
+// Protocol constants.
+const (
+	// BitsPerByte is the wire cost of one payload byte: 8 data + 2 sync
+	// + 1 stop, plus the 2-bit acknowledge from the receiver.
+	BitsPerByte = 8 + 2 + 1 + 2
+	// SublinksPerLink is the multiplexing factor of each physical link.
+	SublinksPerLink = 4
+	// LinksPerNode is the number of physical links on a control processor.
+	LinksPerNode = 4
+	// SublinksPerNode is the total logical channel count (16).
+	SublinksPerNode = LinksPerNode * SublinksPerLink
+)
+
+// BitTime is one serial bit period. The nominal signalling rate is
+// 7.5 Mbit/s, so a byte costs 13 bit times ≈ 1.733 µs and the payload
+// bandwidth is ≈ 0.577 MB/s — the paper's "over 0.5 MB/s per link".
+const BitTime = 133333 * sim.Picosecond
+
+// ByteTime is the wire time of one payload byte including the handshake.
+const ByteTime = BitsPerByte * BitTime
+
+// DMAStartup is the fixed cost of arming a link DMA transfer.
+const DMAStartup = 5 * sim.Microsecond
+
+// EffectiveBandwidth reports the steady-state unidirectional payload
+// bandwidth of one link in bytes per second.
+func EffectiveBandwidth() float64 {
+	return 1 / ByteTime.Seconds()
+}
+
+// Message is one DMA transfer's payload.
+type Message struct {
+	Data []byte
+	From string // sending sublink, for tracing
+}
+
+// Link is one node's driver for a single physical serial link. Its
+// outbound wire is a serial resource: the four outbound sublinks
+// multiplexed onto it divide the available bandwidth. (The inbound
+// direction is owned by the remote ends' outbound wires.)
+type Link struct {
+	Name string
+	k    *sim.Kernel
+	wire *sim.Resource
+	subs [SublinksPerLink]*Sublink
+
+	BytesSent int64
+	Transfers int64
+}
+
+// Sublink is one of the four multiplexed logical channels of a physical
+// link. It is connected point-to-point to a peer sublink on another node.
+type Sublink struct {
+	parent *Link
+	index  int
+	peer   *Sublink
+	inbox  *sim.Chan
+}
+
+// NewLink creates a physical link and its four sublinks.
+func NewLink(k *sim.Kernel, name string) *Link {
+	l := &Link{Name: name, k: k, wire: sim.NewResource(k, name+"/wire", 1)}
+	for i := range l.subs {
+		l.subs[i] = &Sublink{
+			parent: l,
+			index:  i,
+			inbox:  sim.NewChan(k, fmt.Sprintf("%s/sub%d/in", name, i), 1024),
+		}
+	}
+	return l
+}
+
+// Sublink returns logical channel i (0..3).
+func (l *Link) Sublink(i int) *Sublink { return l.subs[i] }
+
+// Wire exposes the outbound serial resource (for utilisation reports).
+func (l *Link) Wire() *sim.Resource { return l.wire }
+
+// Connect cross-wires two sublinks into a bidirectional channel. Both
+// must be unconnected.
+func Connect(a, b *Sublink) error {
+	if a.peer != nil || b.peer != nil {
+		return fmt.Errorf("link: sublink already connected (%s ↔ %s)", a.Name(), b.Name())
+	}
+	a.peer, b.peer = b, a
+	return nil
+}
+
+// Name identifies the sublink for tracing.
+func (s *Sublink) Name() string {
+	return fmt.Sprintf("%s/sub%d", s.parent.Name, s.index)
+}
+
+// Connected reports whether the sublink has a peer.
+func (s *Sublink) Connected() bool { return s.peer != nil }
+
+// Peer returns the remote sublink, or nil.
+func (s *Sublink) Peer() *Sublink { return s.peer }
+
+// Send transfers data to the peer sublink, blocking the caller for the
+// DMA startup plus the serial wire time. Sublinks sharing a physical
+// link queue for the wire, dividing its bandwidth.
+func (s *Sublink) Send(p *sim.Proc, data []byte) error {
+	if s.peer == nil {
+		return fmt.Errorf("link: %s is not connected", s.Name())
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("link: empty transfer on %s", s.Name())
+	}
+	s.parent.wire.Acquire(p)
+	p.Wait(DMAStartup + sim.Duration(len(data))*ByteTime)
+	s.parent.wire.Release()
+	s.parent.BytesSent += int64(len(data))
+	s.parent.Transfers++
+	// Deliver a copy: the sender may reuse its buffer immediately.
+	msg := Message{Data: append([]byte(nil), data...), From: s.Name()}
+	s.peer.inbox.Send(p, msg)
+	return nil
+}
+
+// Recv blocks until a message arrives on this sublink and returns its
+// payload.
+func (s *Sublink) Recv(p *sim.Proc) []byte {
+	return s.inbox.Recv(p).(Message).Data
+}
+
+// TryRecv returns a payload if one is already queued.
+func (s *Sublink) TryRecv() ([]byte, bool) {
+	v, ok := s.inbox.TryRecv()
+	if !ok {
+		return nil, false
+	}
+	return v.(Message).Data, true
+}
+
+// Ready reports whether a Recv would not block.
+func (s *Sublink) Ready() bool { return s.inbox.Ready() }
+
+// Inbox exposes the underlying channel for ALT/select constructs.
+func (s *Sublink) Inbox() *sim.Chan { return s.inbox }
+
+// TransferTime predicts the wall time of an uncontended n-byte transfer.
+func TransferTime(n int) sim.Duration {
+	return DMAStartup + sim.Duration(n)*ByteTime
+}

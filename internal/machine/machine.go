@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"fmt"
+
+	"tseries/internal/comm"
+	"tseries/internal/module"
+	"tseries/internal/node"
+	"tseries/internal/sim"
+)
+
+// MaxSimDim caps how large a machine the simulator will actually
+// instantiate: every node carries a real 1 MB store, so a 8-cube (256
+// nodes) already commits ~290 MB of host memory. Specifications beyond
+// this derive from SpecFor without instantiation, exactly as the paper
+// derives large-system properties from module properties.
+const MaxSimDim = 8
+
+// Machine is an instantiated, runnable T Series configuration.
+type Machine struct {
+	Dim     int
+	Spec    Spec
+	K       *sim.Kernel
+	Nodes   []*node.Node
+	Modules []*module.Module
+	Net     *comm.Network
+}
+
+// New builds a 2^dim-node machine: nodes, hypercube network on sublinks
+// 0..dim-1, modules of eight nodes with system threads on sublinks
+// 14/15, and the system ring joining the module system boards.
+func New(k *sim.Kernel, dim int) (*Machine, error) {
+	spec, err := SpecFor(dim)
+	if err != nil {
+		return nil, err
+	}
+	if dim > MaxSimDim {
+		return nil, fmt.Errorf("machine: %d-cube exceeds the simulator's %d-cube instantiation cap (use SpecFor for larger derivations)", dim, MaxSimDim)
+	}
+	m := &Machine{Dim: dim, Spec: spec, K: k}
+	for i := 0; i < spec.Nodes; i++ {
+		m.Nodes = append(m.Nodes, node.New(k, i))
+	}
+	// Hypercube on the low sublinks.
+	net, err := comm.BuildCube(k, m.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	m.Net = net
+	// Modules: consecutive groups of eight (a 3-subcube each, so the
+	// three intramodule hypercube dimensions stay on the backplane).
+	for i := 0; i < spec.Nodes; i += module.NodesPerModule {
+		end := i + module.NodesPerModule
+		if end > spec.Nodes {
+			end = spec.Nodes
+		}
+		mod, err := module.New(k, len(m.Modules), m.Nodes[i:end])
+		if err != nil {
+			return nil, err
+		}
+		m.Modules = append(m.Modules, mod)
+	}
+	// System ring between module system boards.
+	if len(m.Modules) > 1 {
+		if err := module.ConnectRing(k, m.Modules); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Endpoint returns node id's message-passing endpoint.
+func (m *Machine) Endpoint(id int) *comm.Endpoint { return m.Net.Endpoint(id) }
+
+// SnapshotAll checkpoints every module in parallel and blocks until all
+// complete. Because each module has its own thread and disk, the elapsed
+// time is that of one module — "regardless of configuration".
+func (m *Machine) SnapshotAll(p *sim.Proc) ([]*module.Snapshot, error) {
+	snaps := make([]*module.Snapshot, len(m.Modules))
+	errs := make([]error, len(m.Modules))
+	done := sim.NewChan(m.K, "machine/snapall", len(m.Modules))
+	for i, mod := range m.Modules {
+		idx, mm := i, mod
+		m.K.Go(fmt.Sprintf("snapall/mod%d", idx), func(sp *sim.Proc) {
+			snaps[idx], errs[idx] = mm.Snapshot(sp)
+			done.Send(sp, struct{}{})
+		})
+	}
+	for range m.Modules {
+		done.Recv(p)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return snaps, nil
+}
+
+// RestoreAll rewinds every module to the given snapshots, in parallel.
+func (m *Machine) RestoreAll(p *sim.Proc, snaps []*module.Snapshot) error {
+	if len(snaps) != len(m.Modules) {
+		return fmt.Errorf("machine: %d snapshots for %d modules", len(snaps), len(m.Modules))
+	}
+	errs := make([]error, len(m.Modules))
+	done := sim.NewChan(m.K, "machine/restoreall", len(m.Modules))
+	for i, mod := range m.Modules {
+		idx, mm := i, mod
+		m.K.Go(fmt.Sprintf("restoreall/mod%d", idx), func(sp *sim.Proc) {
+			errs[idx] = mm.Restore(sp, snaps[idx])
+			done.Send(sp, struct{}{})
+		})
+	}
+	for range m.Modules {
+		done.Recv(p)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

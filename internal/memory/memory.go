@@ -1,0 +1,233 @@
+// Package memory models a T Series node's main store: 1 MByte of
+// dual-ported dynamic RAM.
+//
+// The control processor and the communication links see the memory as a
+// single bank of 256K 32-bit words through a conventional random-access
+// port (400 ns per word). The vector arithmetic unit sees it as two banks
+// of 1024-byte rows — 256 rows in bank A and 768 in bank B — and can move
+// an entire row to or from a vector register in 400 ns (2560 MB/s). The
+// two banks feed the arithmetic pipelines with two operands per 125 ns
+// cycle. One parity bit guards each byte.
+package memory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tseries/internal/fparith"
+	"tseries/internal/sim"
+)
+
+// Geometry of the node store, from the paper.
+const (
+	RowBytes    = 1024 // one memory row / vector register
+	NumRows     = 1024 // 1 MByte total
+	BankARows   = 256  // rows 0..255
+	BankBRows   = 768  // rows 256..1023
+	Bytes       = RowBytes * NumRows
+	Words       = Bytes / 4 // 256K 32-bit words
+	WordsPerRow = RowBytes / 4
+	F64PerRow   = RowBytes / 8 // 128 64-bit elements per vector
+	F32PerRow   = RowBytes / 4 // 256 32-bit elements per vector
+)
+
+// Bank identifies one of the two vector-port banks.
+type Bank int
+
+// The two banks.
+const (
+	BankA Bank = iota
+	BankB
+)
+
+func (b Bank) String() string {
+	if b == BankA {
+		return "A"
+	}
+	return "B"
+}
+
+// BankOf reports which bank a row lives in.
+func BankOf(row int) Bank {
+	if row < BankARows {
+		return BankA
+	}
+	return BankB
+}
+
+// ParityError reports a parity mismatch detected on a read.
+type ParityError struct {
+	Addr int // byte address
+}
+
+func (e *ParityError) Error() string {
+	return fmt.Sprintf("memory: parity error at byte %#x", e.Addr)
+}
+
+// Memory is one node's 1 MB dual-ported store. Timed operations take the
+// calling simulation process and consume simulated time on the
+// appropriate port; Peek/Poke variants are untimed for test and workload
+// setup (they model the state a program would have built earlier).
+type Memory struct {
+	data   []byte
+	parity []byte // one parity bit per byte, bit-packed
+
+	// wordPort serialises random access by the control processor and the
+	// link DMA engines.
+	wordPort *sim.Resource
+	// bankPort[b] serialises row transfers and vector streaming on each
+	// bank; the two banks operate in parallel.
+	bankPort [2]*sim.Resource
+
+	// Counters for the bandwidth experiments.
+	WordReads, WordWrites int64
+	RowLoads, RowStores   int64
+}
+
+// New allocates a node memory attached to kernel k. The name
+// distinguishes nodes in multi-node machines.
+func New(k *sim.Kernel, name string) *Memory {
+	m := &Memory{
+		data:   make([]byte, Bytes),
+		parity: make([]byte, Bytes/8),
+	}
+	m.wordPort = sim.NewResource(k, name+"/wordport", 1)
+	m.bankPort[BankA] = sim.NewResource(k, name+"/bankA", 1)
+	m.bankPort[BankB] = sim.NewResource(k, name+"/bankB", 1)
+	return m
+}
+
+func (m *Memory) setParity(addr int) {
+	b := m.data[addr]
+	p := byte(bits.OnesCount8(b) & 1)
+	idx, bit := addr/8, uint(addr%8)
+	m.parity[idx] = m.parity[idx]&^(1<<bit) | p<<bit
+}
+
+func (m *Memory) checkParity(addr int) error {
+	b := m.data[addr]
+	p := byte(bits.OnesCount8(b) & 1)
+	idx, bit := addr/8, uint(addr%8)
+	if (m.parity[idx]>>bit)&1 != p {
+		return &ParityError{Addr: addr}
+	}
+	return nil
+}
+
+// FlipBit corrupts one data bit without updating parity, modelling a
+// transient DRAM fault; the next read of that byte reports a ParityError.
+func (m *Memory) FlipBit(addr int, bit uint) {
+	m.data[addr] ^= 1 << (bit % 8)
+}
+
+// Untimed accessors (setup/inspection).
+
+// PokeWord stores a 32-bit word at word index w without consuming time.
+func (m *Memory) PokeWord(w int, v uint32) {
+	a := w * 4
+	m.data[a] = byte(v)
+	m.data[a+1] = byte(v >> 8)
+	m.data[a+2] = byte(v >> 16)
+	m.data[a+3] = byte(v >> 24)
+	for i := 0; i < 4; i++ {
+		m.setParity(a + i)
+	}
+}
+
+// PeekWord loads the 32-bit word at word index w without consuming time.
+func (m *Memory) PeekWord(w int) uint32 {
+	a := w * 4
+	return uint32(m.data[a]) | uint32(m.data[a+1])<<8 |
+		uint32(m.data[a+2])<<16 | uint32(m.data[a+3])<<24
+}
+
+// PokeF64 stores a 64-bit float at 64-bit element index e.
+func (m *Memory) PokeF64(e int, v fparith.F64) {
+	m.PokeWord(2*e, uint32(v))
+	m.PokeWord(2*e+1, uint32(uint64(v)>>32))
+}
+
+// PeekF64 loads the 64-bit float at 64-bit element index e.
+func (m *Memory) PeekF64(e int) fparith.F64 {
+	return fparith.F64(uint64(m.PeekWord(2*e)) | uint64(m.PeekWord(2*e+1))<<32)
+}
+
+// PokeF32 stores a 32-bit float at 32-bit element index e.
+func (m *Memory) PokeF32(e int, v fparith.F32) { m.PokeWord(e, uint32(v)) }
+
+// PeekF32 loads the 32-bit float at 32-bit element index e.
+func (m *Memory) PeekF32(e int) fparith.F32 { return fparith.F32(m.PeekWord(e)) }
+
+// Timed random-access port (400 ns per 32-bit word, shared FIFO).
+
+// ReadWord performs a timed 32-bit read through the random-access port.
+func (m *Memory) ReadWord(p *sim.Proc, w int) (uint32, error) {
+	m.wordPort.Use(p, sim.WordAccess)
+	m.WordReads++
+	for i := 0; i < 4; i++ {
+		if err := m.checkParity(w*4 + i); err != nil {
+			return 0, err
+		}
+	}
+	return m.PeekWord(w), nil
+}
+
+// WriteWord performs a timed 32-bit write through the random-access port.
+func (m *Memory) WriteWord(p *sim.Proc, w int, v uint32) {
+	m.wordPort.Use(p, sim.WordAccess)
+	m.WordWrites++
+	m.PokeWord(w, v)
+}
+
+// Read64 reads a 64-bit operand as two timed word reads (the control
+// processor is a 32-bit machine).
+func (m *Memory) Read64(p *sim.Proc, e int) (fparith.F64, error) {
+	lo, err := m.ReadWord(p, 2*e)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.ReadWord(p, 2*e+1)
+	if err != nil {
+		return 0, err
+	}
+	return fparith.F64(uint64(lo) | uint64(hi)<<32), nil
+}
+
+// Write64 writes a 64-bit operand as two timed word writes.
+func (m *Memory) Write64(p *sim.Proc, e int, v fparith.F64) {
+	m.WriteWord(p, 2*e, uint32(v))
+	m.WriteWord(p, 2*e+1, uint32(uint64(v)>>32))
+}
+
+// PokeByte stores one byte (untimed, parity updated).
+func (m *Memory) PokeByte(addr int, v byte) {
+	m.data[addr] = v
+	m.setParity(addr)
+}
+
+// PeekByte loads one byte (untimed, no parity check).
+func (m *Memory) PeekByte(addr int) byte { return m.data[addr] }
+
+// PokeBytes stores a block (untimed) — program loading, DMA completion.
+func (m *Memory) PokeBytes(addr int, b []byte) {
+	copy(m.data[addr:addr+len(b)], b)
+	for i := range b {
+		m.setParity(addr + i)
+	}
+}
+
+// PeekBytes copies a block out (untimed).
+func (m *Memory) PeekBytes(addr, n int) []byte {
+	out := make([]byte, n)
+	copy(out, m.data[addr:addr+n])
+	return out
+}
+
+// RowAddr returns the first byte address of a row.
+func RowAddr(row int) int { return row * RowBytes }
+
+// rowSlice returns the backing bytes of a row.
+func (m *Memory) rowSlice(row int) []byte {
+	a := RowAddr(row)
+	return m.data[a : a+RowBytes]
+}

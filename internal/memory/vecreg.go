@@ -1,0 +1,109 @@
+package memory
+
+import (
+	"fmt"
+
+	"tseries/internal/fparith"
+	"tseries/internal/sim"
+)
+
+// VectorReg is one of the node's vector registers: a 1024-byte latch that
+// exchanges whole rows with main memory in a single 400 ns parallel
+// transfer and streams elements to the arithmetic unit at one 32-bit word
+// per 62.5 ns (one 64-bit word per 125 ns).
+type VectorReg struct {
+	Name string
+	buf  [RowBytes]byte
+}
+
+// LoadRow fills the register from memory row `row` in one timed row
+// transfer on the row's bank port.
+func (m *Memory) LoadRow(p *sim.Proc, row int, r *VectorReg) error {
+	if row < 0 || row >= NumRows {
+		return fmt.Errorf("memory: row %d out of range", row)
+	}
+	m.bankPort[BankOf(row)].Use(p, sim.RowAccess)
+	m.RowLoads++
+	base := RowAddr(row)
+	for i := 0; i < RowBytes; i++ {
+		if err := m.checkParity(base + i); err != nil {
+			return err
+		}
+	}
+	copy(r.buf[:], m.rowSlice(row))
+	return nil
+}
+
+// StoreRow writes the register back to memory row `row` in one timed row
+// transfer.
+func (m *Memory) StoreRow(p *sim.Proc, row int, r *VectorReg) error {
+	if row < 0 || row >= NumRows {
+		return fmt.Errorf("memory: row %d out of range", row)
+	}
+	m.bankPort[BankOf(row)].Use(p, sim.RowAccess)
+	m.RowStores++
+	base := RowAddr(row)
+	copy(m.rowSlice(row), r.buf[:])
+	for i := 0; i < RowBytes; i++ {
+		m.setParity(base + i)
+	}
+	return nil
+}
+
+// MoveRow copies one row to another using a vector register: two timed
+// row transfers (load + store), 800 ns total. This is the paper's "move
+// data physically rather than keeping linked lists of pointers" fast
+// path used for pivoting and sorting.
+func (m *Memory) MoveRow(p *sim.Proc, dst, src int, scratch *VectorReg) error {
+	if err := m.LoadRow(p, src, scratch); err != nil {
+		return err
+	}
+	return m.StoreRow(p, dst, scratch)
+}
+
+// BankPort exposes the bank resource for components that stream elements
+// directly (the arithmetic unit's operand fetch).
+func (m *Memory) BankPort(b Bank) *sim.Resource { return m.bankPort[b] }
+
+// WordPort exposes the random-access port resource (shared by the control
+// processor and link DMA).
+func (m *Memory) WordPort() *sim.Resource { return m.wordPort }
+
+// F64 returns 64-bit element i of the register (i in 0..127).
+func (r *VectorReg) F64(i int) fparith.F64 {
+	a := i * 8
+	var v uint64
+	for b := 7; b >= 0; b-- {
+		v = v<<8 | uint64(r.buf[a+b])
+	}
+	return fparith.F64(v)
+}
+
+// SetF64 stores 64-bit element i of the register.
+func (r *VectorReg) SetF64(i int, v fparith.F64) {
+	a := i * 8
+	u := uint64(v)
+	for b := 0; b < 8; b++ {
+		r.buf[a+b] = byte(u >> (8 * uint(b)))
+	}
+}
+
+// F32 returns 32-bit element i of the register (i in 0..255).
+func (r *VectorReg) F32(i int) fparith.F32 {
+	a := i * 4
+	return fparith.F32(uint32(r.buf[a]) | uint32(r.buf[a+1])<<8 |
+		uint32(r.buf[a+2])<<16 | uint32(r.buf[a+3])<<24)
+}
+
+// SetF32 stores 32-bit element i of the register.
+func (r *VectorReg) SetF32(i int, v fparith.F32) {
+	a := i * 4
+	u := uint32(v)
+	r.buf[a] = byte(u)
+	r.buf[a+1] = byte(u >> 8)
+	r.buf[a+2] = byte(u >> 16)
+	r.buf[a+3] = byte(u >> 24)
+}
+
+// Bytes exposes the raw register contents (for link DMA staging).
+func (r *VectorReg) Bytes() []byte { return r.buf[:] }

@@ -1,0 +1,80 @@
+// Package module models the T Series packaging level above the node:
+// eight nodes, a system board, and a system disk form a module — the
+// smallest homogeneous unit of larger systems, with 128 MFLOPS peak and
+// 8 MB of user RAM.
+//
+// The system board is connected to its eight nodes by a thread of
+// communication links that traverses them; system boards of different
+// modules are joined by a separate system ring. The system disk's
+// primary function is recording memory snapshots that checkpoint
+// computations for error recovery: a snapshot takes about 15 seconds
+// regardless of configuration (every module snapshots in parallel
+// through its own thread and disk), and the user chooses the interval —
+// about 10 minutes is a good compromise.
+package module
+
+import (
+	"fmt"
+
+	"tseries/internal/sim"
+)
+
+// Disk is a module's system disk. Transfers are timed; contents are real
+// bytes so a restore genuinely rewinds the machine.
+type Disk struct {
+	Name string
+
+	// SeekTime is charged once per stream start.
+	SeekTime sim.Duration
+	// ByteTime is the sustained transfer cost per byte (≈1 MB/s — faster
+	// than the system thread that feeds it, so the thread is the
+	// snapshot bottleneck, as the paper's 15 s figure implies).
+	ByteTime sim.Duration
+
+	busy *sim.Resource
+
+	blocks map[string][]byte
+
+	BytesWritten, BytesRead int64
+}
+
+// NewDisk creates a system disk.
+func NewDisk(k *sim.Kernel, name string) *Disk {
+	return &Disk{
+		Name:     name,
+		SeekTime: 20 * sim.Millisecond,
+		ByteTime: sim.Microsecond, // 1 MB/s sustained
+		busy:     sim.NewResource(k, name+"/disk", 1),
+		blocks:   map[string][]byte{},
+	}
+}
+
+// Write stores a named block, consuming seek plus transfer time.
+func (d *Disk) Write(p *sim.Proc, key string, data []byte) {
+	d.busy.Use(p, d.SeekTime+sim.Duration(len(data))*d.ByteTime)
+	d.blocks[key] = append([]byte(nil), data...)
+	d.BytesWritten += int64(len(data))
+}
+
+// Read retrieves a named block.
+func (d *Disk) Read(p *sim.Proc, key string) ([]byte, error) {
+	data, ok := d.blocks[key]
+	if !ok {
+		return nil, fmt.Errorf("disk %s: no block %q", d.Name, key)
+	}
+	d.busy.Use(p, d.SeekTime+sim.Duration(len(data))*d.ByteTime)
+	d.BytesRead += int64(len(data))
+	return append([]byte(nil), data...), nil
+}
+
+// Has reports whether a block exists (untimed directory lookup).
+func (d *Disk) Has(key string) bool {
+	_, ok := d.blocks[key]
+	return ok
+}
+
+// Delete removes a block (untimed).
+func (d *Disk) Delete(key string) { delete(d.blocks, key) }
+
+// Keys reports how many blocks are stored.
+func (d *Disk) Keys() int { return len(d.blocks) }

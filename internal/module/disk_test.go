@@ -1,0 +1,110 @@
+package module
+
+import (
+	"bytes"
+	"testing"
+
+	"tseries/internal/sim"
+)
+
+func TestDiskReadWrite(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "t")
+	data := []byte("the quick brown fox")
+	var got []byte
+	var writeEnd, readEnd sim.Time
+	k.Go("io", func(p *sim.Proc) {
+		d.Write(p, "blk", data)
+		writeEnd = p.Now()
+		var err error
+		got, err = d.Read(p, "blk")
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		readEnd = p.Now()
+	})
+	k.Run(0)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	// Each op costs the 20 ms seek plus transfer.
+	if writeEnd < sim.Time(20*sim.Millisecond) {
+		t.Fatalf("write too fast: %v", writeEnd)
+	}
+	if readEnd.Sub(writeEnd) < 20*sim.Millisecond {
+		t.Fatalf("read too fast: %v", readEnd.Sub(writeEnd))
+	}
+	if d.BytesWritten != int64(len(data)) || d.BytesRead != int64(len(data)) {
+		t.Fatalf("counters: %d/%d", d.BytesWritten, d.BytesRead)
+	}
+}
+
+func TestDiskRate(t *testing.T) {
+	// Sustained transfer ≈ 1 MB/s after the seek.
+	k := sim.NewKernel()
+	d := NewDisk(k, "t")
+	const n = 1 << 20
+	var elapsed sim.Duration
+	k.Go("io", func(p *sim.Proc) {
+		start := p.Now()
+		d.Write(p, "big", make([]byte, n))
+		elapsed = p.Now().Sub(start)
+	})
+	k.Run(0)
+	secs := elapsed.Seconds()
+	if secs < 1.0 || secs > 1.1 {
+		t.Fatalf("1 MB write took %.3f s, want ≈1.02 (seek + 1 MB/s)", secs)
+	}
+}
+
+func TestDiskDirectory(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "t")
+	k.Go("io", func(p *sim.Proc) {
+		d.Write(p, "a", []byte{1})
+		d.Write(p, "b", []byte{2})
+	})
+	k.Run(0)
+	if !d.Has("a") || d.Has("zzz") || d.Keys() != 2 {
+		t.Fatal("directory wrong")
+	}
+	d.Delete("a")
+	if d.Has("a") || d.Keys() != 1 {
+		t.Fatal("delete failed")
+	}
+	var err error
+	k.Go("io2", func(p *sim.Proc) { _, err = d.Read(p, "a") })
+	k.Run(0)
+	if err == nil {
+		t.Fatal("read of deleted block succeeded")
+	}
+}
+
+func TestDiskIsolationFromCaller(t *testing.T) {
+	// The disk copies on write and read: callers cannot alias its blocks.
+	k := sim.NewKernel()
+	d := NewDisk(k, "t")
+	buf := []byte{1, 2, 3}
+	var got []byte
+	k.Go("io", func(p *sim.Proc) {
+		d.Write(p, "x", buf)
+		buf[0] = 99
+		var err error
+		got, err = d.Read(p, "x")
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got[1] = 88
+		again, err := d.Read(p, "x")
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if again[1] == 88 {
+			t.Error("reader mutated the stored block")
+		}
+	})
+	k.Run(0)
+	if got[0] != 1 {
+		t.Fatal("writer mutated the stored block")
+	}
+}

@@ -1,0 +1,272 @@
+package module
+
+import (
+	"testing"
+
+	"tseries/internal/fparith"
+	"tseries/internal/memory"
+	"tseries/internal/node"
+	"tseries/internal/sim"
+)
+
+func buildModule(t testing.TB, nNodes int) (*sim.Kernel, *Module) {
+	t.Helper()
+	k := sim.NewKernel()
+	nodes := make([]*node.Node, nNodes)
+	for i := range nodes {
+		nodes[i] = node.New(k, i)
+	}
+	m, err := New(k, 0, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+func TestModuleConstants(t *testing.T) {
+	if PeakMFLOPS != 128 {
+		t.Fatalf("module peak = %d, want 128", PeakMFLOPS)
+	}
+	if UserRAMBytes != 8<<20 {
+		t.Fatalf("module RAM = %d, want 8 MB", UserRAMBytes)
+	}
+}
+
+func TestSnapshotTimeFullModule(t *testing.T) {
+	// "It takes about 15 seconds to take a snapshot": the thread's final
+	// link carries all eight 1 MB images at ≈0.577 MB/s.
+	k, m := buildModule(t, 8)
+	// Put recognisable data in each node.
+	for i, nd := range m.Nodes {
+		nd.Mem.PokeWord(0, uint32(0xC0DE0000+i))
+	}
+	var elapsed sim.Duration
+	k.Go("snap", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := m.Snapshot(p); err != nil {
+			t.Errorf("snapshot: %v", err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	k.Run(0)
+	secs := elapsed.Seconds()
+	if secs < 13 || secs > 17 {
+		t.Fatalf("snapshot took %.2f s, want ≈15", secs)
+	}
+	if m.Disk.Keys() != 8*chunksPerNode {
+		t.Fatalf("disk has %d blocks", m.Disk.Keys())
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	k, m := buildModule(t, 2)
+	// Fill memories with patterns.
+	for i, nd := range m.Nodes {
+		for w := 0; w < 100; w++ {
+			nd.Mem.PokeWord(w, uint32(i*1000+w))
+		}
+		nd.Mem.PokeF64(5000, fparith.FromFloat64(3.25*float64(i+1)))
+	}
+	var snap *Snapshot
+	k.Go("run", func(p *sim.Proc) {
+		var err error
+		snap, err = m.Snapshot(p)
+		if err != nil {
+			t.Errorf("snapshot: %v", err)
+			return
+		}
+		// The computation then corrupts/advances state.
+		for _, nd := range m.Nodes {
+			for w := 0; w < 100; w++ {
+				nd.Mem.PokeWord(w, 0xFFFFFFFF)
+			}
+		}
+		if err := m.Restore(p, snap); err != nil {
+			t.Errorf("restore: %v", err)
+		}
+	})
+	k.Run(0)
+	for i, nd := range m.Nodes {
+		for w := 0; w < 100; w++ {
+			if nd.Mem.PeekWord(w) != uint32(i*1000+w) {
+				t.Fatalf("node %d word %d = %#x after restore", i, w, nd.Mem.PeekWord(w))
+			}
+		}
+		if got := nd.Mem.PeekF64(5000).Float64(); got != 3.25*float64(i+1) {
+			t.Fatalf("node %d f64 = %g after restore", i, got)
+		}
+	}
+}
+
+func TestRestoreUnknownSnapshot(t *testing.T) {
+	k, m := buildModule(t, 1)
+	var err error
+	k.Go("r", func(p *sim.Proc) {
+		err = m.Restore(p, &Snapshot{ID: 99})
+	})
+	k.Run(0)
+	if err == nil {
+		t.Fatal("restore of missing snapshot succeeded")
+	}
+	if e2 := func() (e error) {
+		k.Go("r2", func(p *sim.Proc) { e = m.Restore(p, nil) })
+		k.Run(0)
+		return
+	}(); e2 == nil {
+		t.Fatal("restore of nil snapshot succeeded")
+	}
+}
+
+func TestCheckpointInterval(t *testing.T) {
+	// The user specifies the snapshot interval; snapshots recur.
+	k, m := buildModule(t, 1)
+	m.RunCheckpoints(60 * sim.Second)
+	// Drive for 200 simulated seconds: snapshots at 60 and 120 complete;
+	// the one starting at 180 is cut off by the horizon.
+	k.Go("work", func(p *sim.Proc) { p.Wait(200 * sim.Second) })
+	k.Run(210 * sim.Second)
+	if m.SnapshotsTaken < 2 || m.SnapshotsTaken > 3 {
+		t.Fatalf("snapshots taken = %d, want 2-3", m.SnapshotsTaken)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	// Fault injection: a parity error appears mid-computation; the
+	// module restores the last snapshot and the pre-crash state returns.
+	k, m := buildModule(t, 1)
+	nd := m.Nodes[0]
+	nd.Mem.PokeWord(10, 1234)
+	var restored uint32
+	k.Go("lifecycle", func(p *sim.Proc) {
+		snap, err := m.Snapshot(p)
+		if err != nil {
+			t.Errorf("snapshot: %v", err)
+			return
+		}
+		// The workload makes progress, then a DRAM fault corrupts data.
+		nd.Mem.PokeWord(10, 5678)
+		nd.Mem.FlipBit(40, 2)
+		if _, err := nd.Mem.ReadWord(p, 10); err == nil {
+			t.Error("expected parity error")
+		}
+		// Recovery: restore the checkpoint.
+		if err := m.Restore(p, snap); err != nil {
+			t.Errorf("restore: %v", err)
+			return
+		}
+		v, err := nd.Mem.ReadWord(p, 10)
+		if err != nil {
+			t.Errorf("read after restore: %v", err)
+		}
+		restored = v
+	})
+	k.Run(0)
+	if restored != 1234 {
+		t.Fatalf("after recovery word = %d, want 1234", restored)
+	}
+}
+
+func TestSingleNodeSnapshotFasterThanFull(t *testing.T) {
+	// A 1-node module's snapshot moves 1 MB, ≈1/8 the time of a full
+	// module's 8 MB.
+	k, m := buildModule(t, 1)
+	var elapsed sim.Duration
+	k.Go("snap", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := m.Snapshot(p); err != nil {
+			t.Errorf("snapshot: %v", err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	k.Run(0)
+	if s := elapsed.Seconds(); s < 1.5 || s > 3 {
+		t.Fatalf("1-node snapshot took %.2f s, want ≈2", s)
+	}
+}
+
+func TestModuleSizeValidation(t *testing.T) {
+	k := sim.NewKernel()
+	var nodes []*node.Node
+	if _, err := New(k, 0, nodes); err == nil {
+		t.Fatal("empty module accepted")
+	}
+	nodes = make([]*node.Node, 9)
+	for i := range nodes {
+		nodes[i] = node.New(k, i)
+	}
+	if _, err := New(k, 0, nodes); err == nil {
+		t.Fatal("9-node module accepted")
+	}
+}
+
+func TestMemoryGeometryAssumption(t *testing.T) {
+	if memory.Bytes%SnapshotChunk != 0 {
+		t.Fatal("snapshot chunk must divide node memory")
+	}
+	if chunksPerNode != 16 {
+		t.Fatalf("chunksPerNode = %d", chunksPerNode)
+	}
+}
+
+func TestExternalIOLoadAndDump(t *testing.T) {
+	// The front end loads a problem into node 5's memory and reads a
+	// result back, both through the system board thread at link rate.
+	k, m := buildModule(t, 8)
+	data := make([]byte, 100*1024)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	var loadTime, dumpTime sim.Duration
+	var dumped []byte
+	k.Go("frontend", func(p *sim.Proc) {
+		start := p.Now()
+		if err := m.LoadNodeMemory(p, 5, 0x40000, data); err != nil {
+			t.Errorf("load: %v", err)
+			return
+		}
+		loadTime = p.Now().Sub(start)
+		start = p.Now()
+		var err error
+		dumped, err = m.DumpNodeMemory(p, 5, 0x40000, len(data))
+		if err != nil {
+			t.Errorf("dump: %v", err)
+		}
+		dumpTime = p.Now().Sub(start)
+	})
+	k.Run(0)
+	for i := range data {
+		if m.Nodes[5].Mem.PeekByte(0x40000+i) != data[i] {
+			t.Fatalf("loaded byte %d wrong", i)
+		}
+		if dumped[i] != data[i] {
+			t.Fatalf("dumped byte %d wrong", i)
+		}
+	}
+	// 100 KB at ≈0.577 MB/s ≈ 178 ms minimum; the 16 KB chunks pipeline
+	// across the thread's six hops, leaving ≈150 ms of fill, and the
+	// dump pays request/latency per chunk too.
+	min := 170 * sim.Millisecond
+	if loadTime < min || loadTime > 3*min {
+		t.Fatalf("load took %v", loadTime)
+	}
+	if dumpTime < min || dumpTime > 4*min {
+		t.Fatalf("dump took %v", dumpTime)
+	}
+}
+
+func TestExternalIOValidation(t *testing.T) {
+	k, m := buildModule(t, 1)
+	var errs []error
+	k.Go("fe", func(p *sim.Proc) {
+		e1 := m.LoadNodeMemory(p, 9, 0, []byte{1})
+		e2 := m.LoadNodeMemory(p, 0, memory.Bytes, []byte{1})
+		_, e3 := m.DumpNodeMemory(p, 0, memory.Bytes-1, 10)
+		errs = append(errs, e1, e2, e3)
+	})
+	k.Run(0)
+	for i, e := range errs {
+		if e == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

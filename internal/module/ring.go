@@ -1,0 +1,97 @@
+package module
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tseries/internal/link"
+	"tseries/internal/sim"
+)
+
+// The system ring: system boards are directly connected by communication
+// links into a ring that is independent of the binary n-cube joining the
+// processor nodes. Its jobs are management traffic and backing up
+// snapshots to other modules' disks.
+
+const kindBackup = 3
+
+// ConnectRing wires the module system boards into a unidirectional ring
+// (module i's ring-out to module i+1's ring-in) and starts a ring
+// service daemon on each board that stores arriving backup blocks on the
+// local disk.
+func ConnectRing(k *sim.Kernel, mods []*Module) error {
+	if len(mods) < 2 {
+		return fmt.Errorf("module: a ring needs at least two modules")
+	}
+	for i := range mods {
+		next := mods[(i+1)%len(mods)]
+		if err := link.Connect(mods[i].Sys.Link.Sublink(sysRingOut), next.Sys.Link.Sublink(sysRingIn)); err != nil {
+			return err
+		}
+	}
+	for _, m := range mods {
+		mod := m
+		k.GoDaemon(fmt.Sprintf("mod%d/sys/ring", mod.Index), func(p *sim.Proc) {
+			for {
+				raw := mod.Sys.Link.Sublink(sysRingIn).Recv(p)
+				if len(raw) < 3 || raw[0] != kindBackup {
+					continue
+				}
+				keyLen := int(binary.LittleEndian.Uint16(raw[1:3]))
+				if len(raw) < 3+keyLen {
+					continue
+				}
+				key := string(raw[3 : 3+keyLen])
+				data := raw[3+keyLen:]
+				mod.Disk.Write(p, key, data)
+			}
+		})
+	}
+	return nil
+}
+
+// BackupLastSnapshot streams this module's most recent snapshot over the
+// system ring to the next module's disk, prefixed "backup/". It blocks
+// for the ring transfer time (the ring link is the bottleneck, just as
+// for local snapshots).
+func (m *Module) BackupLastSnapshot(p *sim.Proc) error {
+	snap := m.LastSnapshot
+	if snap == nil {
+		return fmt.Errorf("module %d: nothing to back up", m.Index)
+	}
+	for idx := range m.Nodes {
+		for seq := 0; seq < chunksPerNode; seq++ {
+			key := snapKey(snap.ID, idx, seq)
+			data, ok := m.Disk.blocks[key]
+			if !ok {
+				return fmt.Errorf("module %d: snapshot block %s missing", m.Index, key)
+			}
+			// Timed disk read feeding the ring.
+			m.Disk.busy.Use(p, sim.Duration(len(data))*m.Disk.ByteTime)
+			bkey := fmt.Sprintf("backup/mod%d/%s", m.Index, key)
+			msg := make([]byte, 3+len(bkey)+len(data))
+			msg[0] = kindBackup
+			binary.LittleEndian.PutUint16(msg[1:3], uint16(len(bkey)))
+			copy(msg[3:], bkey)
+			copy(msg[3+len(bkey):], data)
+			if err := m.Sys.Link.Sublink(sysRingOut).Send(p, msg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HasBackupOf reports whether this module's disk holds a full backup of
+// the given module's snapshot.
+func (m *Module) HasBackupOf(srcModule, snapID, nNodes int) bool {
+	for idx := 0; idx < nNodes; idx++ {
+		for seq := 0; seq < chunksPerNode; seq++ {
+			key := fmt.Sprintf("backup/mod%d/%s", srcModule, snapKey(snapID, idx, seq))
+			if !m.Disk.Has(key) {
+				return false
+			}
+		}
+	}
+	return true
+}

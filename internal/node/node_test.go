@@ -1,0 +1,134 @@
+package node
+
+import (
+	"testing"
+
+	"tseries/internal/cp"
+	"tseries/internal/fparith"
+	"tseries/internal/fpu"
+	"tseries/internal/link"
+	"tseries/internal/memory"
+	"tseries/internal/sim"
+)
+
+func TestNodeInventory(t *testing.T) {
+	// Figure 1: control processor, dual-port memory (two banks), two
+	// pipelines, four links.
+	k := sim.NewKernel()
+	n := New(k, 0)
+	if n.CP == nil || n.FPU == nil || n.Mem == nil {
+		t.Fatal("node missing units")
+	}
+	if n.CP.FPU != n.FPU {
+		t.Fatal("CP not wired to vector unit")
+	}
+	for i := 0; i < link.LinksPerNode; i++ {
+		if n.Links[i] == nil || n.CP.Links[i] != n.Links[i] {
+			t.Fatalf("link %d not wired", i)
+		}
+	}
+	if n.FPU.Adder.Depth(fpu.P64) != 6 || n.FPU.Multiplier.Depth(fpu.P64) != 7 {
+		t.Fatal("pipeline depths wrong")
+	}
+	// 16 sublinks, distinct.
+	seen := map[*link.Sublink]bool{}
+	for i := 0; i < link.SublinksPerNode; i++ {
+		s := n.Sublink(i)
+		if s == nil || seen[s] {
+			t.Fatalf("sublink %d duplicated or missing", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBalanceRatio(t *testing.T) {
+	// §II: (arith) : (gather) : (link) ≈ 1 : 13 : 130 per 64-bit word.
+	a, g, l := BalanceRatio()
+	if a != 1 {
+		t.Fatal("arith unit not 1")
+	}
+	if g < 12 || g > 14 {
+		t.Fatalf("gather ratio = %.1f, want ≈13", g)
+	}
+	if l < 100 || l > 150 {
+		t.Fatalf("link ratio = %.1f, want ≈130", l)
+	}
+	if !(a < g && g < l) {
+		t.Fatal("hierarchy violated")
+	}
+}
+
+func TestGatherOverlapsVectorWork(t *testing.T) {
+	// The control processor gathers the next vector while the vector
+	// unit computes: with ≥13 operations per gathered word, the gather
+	// hides completely (§II).
+	k := sim.NewKernel()
+	n := New(k, 0)
+	for i := 0; i < memory.F64PerRow; i++ {
+		n.Mem.PokeF64(i, fparith.FromInt64(1))
+		n.Mem.PokeF64(300*memory.F64PerRow+i, fparith.FromInt64(2))
+	}
+	idx := make([]int, memory.F64PerRow)
+	for i := range idx {
+		idx[i] = (i * 97) % (400 * memory.F64PerRow)
+	}
+	var serial, overlapped sim.Duration
+
+	// Serial: gather then 16 vector forms.
+	k.Go("serial", func(p *sim.Proc) {
+		start := p.Now()
+		if err := n.CP.Gather64(p, 500*memory.F64PerRow, idx); err != nil {
+			t.Errorf("gather: %v", err)
+		}
+		for r := 0; r < 16; r++ {
+			if _, err := n.RunForm(p, fpu.Op{Form: fpu.SAXPY, Prec: fpu.P64, X: 0, Y: 300, Z: 301, A: fparith.FromFloat64(1)}); err != nil {
+				t.Errorf("form: %v", err)
+			}
+		}
+		serial = p.Now().Sub(start)
+	})
+	k.Run(0)
+
+	// Overlapped: gather runs while the 16 forms execute.
+	k2 := sim.NewKernel()
+	n2 := New(k2, 0)
+	for i := 0; i < memory.F64PerRow; i++ {
+		n2.Mem.PokeF64(i, fparith.FromInt64(1))
+		n2.Mem.PokeF64(300*memory.F64PerRow+i, fparith.FromInt64(2))
+	}
+	k2.Go("overlap", func(p *sim.Proc) {
+		start := p.Now()
+		gatherDone := sim.NewChan(k2, "gdone", 1)
+		k2.Go("gatherer", func(gp *sim.Proc) {
+			if err := n2.CP.Gather64(gp, 500*memory.F64PerRow, idx); err != nil {
+				t.Errorf("gather: %v", err)
+			}
+			gatherDone.Send(gp, struct{}{})
+		})
+		for r := 0; r < 16; r++ {
+			if _, err := n2.RunForm(p, fpu.Op{Form: fpu.SAXPY, Prec: fpu.P64, X: 0, Y: 300, Z: 301, A: fparith.FromFloat64(1)}); err != nil {
+				t.Errorf("form: %v", err)
+			}
+		}
+		gatherDone.Recv(p)
+		overlapped = p.Now().Sub(start)
+	})
+	k2.Run(0)
+
+	gatherTime := cp.GatherTime64(memory.F64PerRow)
+	if serial < overlapped {
+		t.Fatalf("overlap slower than serial: %v vs %v", overlapped, serial)
+	}
+	// 16 SAXPY rows ≈ 16·18.4µs = 295µs > gather 204.8µs: the gather must
+	// hide almost entirely.
+	saved := serial - overlapped
+	if float64(saved) < 0.95*float64(gatherTime) {
+		t.Fatalf("gather not hidden: saved %v of %v", saved, gatherTime)
+	}
+}
+
+func TestPeakDefinitions(t *testing.T) {
+	if PeakMFLOPS != 16 {
+		t.Fatal("peak must be 16 MFLOPS")
+	}
+}

@@ -1,0 +1,205 @@
+package occam
+
+// Type is an Occam data type.
+type Type int
+
+// Supported types.
+const (
+	TypeInt Type = iota
+	TypeReal
+	TypeBool
+	TypeChan
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeReal:
+		return "REAL64"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return "CHAN"
+	}
+}
+
+// Program is a parsed collection of PROC definitions.
+type Program struct {
+	Procs map[string]*ProcDef
+}
+
+// ProcDef is one PROC.
+type ProcDef struct {
+	Name   string
+	Params []Param
+	Body   Process
+	Line   int
+}
+
+// Param declares a formal parameter. Val marks VAL (by-value) data
+// parameters; channels are always by reference.
+type Param struct {
+	Name string
+	Type Type
+	Val  bool
+}
+
+// Process is any executable construct.
+type Process interface{ processNode() }
+
+// Decl introduces variables for the rest of the enclosing block.
+type Decl struct {
+	Names []string
+	Type  Type
+	Size  Expr // non-nil for arrays
+	Line  int
+}
+
+// Seq runs Body in order; a non-empty Repl makes it a counted loop.
+type Seq struct {
+	Repl *Replicator
+	Body []Process
+}
+
+// Par runs Body concurrently and joins.
+type Par struct {
+	Repl *Replicator
+	Body []Process
+}
+
+// Replicator is `i = start FOR count`.
+type Replicator struct {
+	Var   string
+	Start Expr
+	Count Expr
+}
+
+// If evaluates guards in order and runs the first true branch; no true
+// guard is STOP (as in Occam).
+type If struct {
+	Branches []GuardedProcess
+	Line     int
+}
+
+// GuardedProcess pairs a boolean guard with a body.
+type GuardedProcess struct {
+	Cond Expr
+	Body Process
+}
+
+// While loops while the condition holds.
+type While struct {
+	Cond Expr
+	Body Process
+}
+
+// Alt waits for the first ready input guard (PRI ALT ordering).
+type Alt struct {
+	Branches []AltBranch
+	Line     int
+}
+
+// AltBranch is `chan ? lvalue` followed by a body.
+type AltBranch struct {
+	Chan string
+	Dest LValue
+	Body Process
+}
+
+// Assign is `lvalue := expr`.
+type Assign struct {
+	Dest LValue
+	Src  Expr
+	Line int
+}
+
+// Send is `chan ! expr`.
+type Send struct {
+	Chan string
+	Val  Expr
+	Line int
+}
+
+// Recv is `chan ? lvalue`.
+type Recv struct {
+	Chan string
+	Dest LValue
+	Line int
+}
+
+// Call invokes a PROC or builtin.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Skip does nothing; Stop halts the process.
+type Skip struct{}
+
+// Stop deadlocks deliberately (Occam's STOP); the interpreter reports it
+// as an error.
+type Stop struct{ Line int }
+
+// Block is a declaration scope: decls then processes.
+type Block struct {
+	Items []Process
+}
+
+func (*Decl) processNode()   {}
+func (*Seq) processNode()    {}
+func (*Par) processNode()    {}
+func (*If) processNode()     {}
+func (*While) processNode()  {}
+func (*Alt) processNode()    {}
+func (*Assign) processNode() {}
+func (*Send) processNode()   {}
+func (*Recv) processNode()   {}
+func (*Call) processNode()   {}
+func (*Skip) processNode()   {}
+func (*Stop) processNode()   {}
+func (*Block) processNode()  {}
+
+// LValue is an assignable location: a variable or array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct{ V int32 }
+
+// RealLit is a REAL64 literal.
+type RealLit struct{ V float64 }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// VarRef reads a variable or array element.
+type VarRef struct {
+	Name  string
+	Index Expr
+}
+
+// BinOp applies an infix operator.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnOp applies a prefix operator (-, NOT).
+type UnOp struct {
+	Op string
+	X  Expr
+}
+
+func (*IntLit) exprNode()  {}
+func (*RealLit) exprNode() {}
+func (*BoolLit) exprNode() {}
+func (*VarRef) exprNode()  {}
+func (*BinOp) exprNode()   {}
+func (*UnOp) exprNode()    {}

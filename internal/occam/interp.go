@@ -1,0 +1,855 @@
+package occam
+
+import (
+	"fmt"
+	"io"
+
+	"tseries/internal/cp"
+	"tseries/internal/fparith"
+	"tseries/internal/fpu"
+	"tseries/internal/node"
+	"tseries/internal/sim"
+)
+
+// Execution cost constants: Occam compiles to short control-processor
+// sequences, so each statement charges a few instruction ticks.
+const (
+	stmtCost  = 3 * cp.Tick // assignment, guard evaluation, call overhead
+	spawnCost = 8 * cp.Tick // startp and workspace setup for a PAR branch
+	chanCost  = 2 * cp.Tick // local rendezvous bookkeeping
+)
+
+// cell is a mutable variable binding; PAR branches and by-reference
+// parameters share cells.
+type cell struct{ v interface{} }
+
+type env struct {
+	parent *env
+	vars   map[string]*cell
+}
+
+func newEnv(parent *env) *env { return &env{parent: parent, vars: map[string]*cell{}} }
+
+func (e *env) lookup(name string) (*cell, bool) {
+	for s := e; s != nil; s = s.parent {
+		if c, ok := s.vars[name]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Interp executes Occam programs on a simulation kernel. When bound to a
+// node, the builtin vector procedures (VADD, VMUL, SAXPY, DOT, SUM)
+// drive that node's arithmetic unit, and PRINT writes to Out.
+type Interp struct {
+	Prog *Program
+	K    *sim.Kernel
+	Node *node.Node // optional
+	Out  io.Writer  // PRINT target (optional)
+
+	firstErr error
+}
+
+// New creates an interpreter for a parsed program.
+func New(k *sim.Kernel, prog *Program, nd *node.Node) *Interp {
+	return &Interp{Prog: prog, K: k, Node: nd}
+}
+
+// Err reports the first runtime error of any process started from this
+// interpreter.
+func (ip *Interp) Err() error { return ip.firstErr }
+
+func (ip *Interp) fail(err error) error {
+	if ip.firstErr == nil {
+		ip.firstErr = err
+	}
+	return err
+}
+
+// Start runs PROC name with the given actual arguments as a new
+// simulated process. Arguments map positionally: int/int32 → INT,
+// float64/fparith.F64 → REAL64, bool → BOOL, Channel/*sim.Chan/
+// *link.Sublink → CHAN. Non-VAL scalar parameters passed as host values
+// are copied (the caller keeps no reference).
+func (ip *Interp) Start(name string, args ...interface{}) (*sim.Proc, error) {
+	pd, ok := ip.Prog.Procs[name]
+	if !ok {
+		return nil, fmt.Errorf("occam: no PROC %s", name)
+	}
+	if len(args) != len(pd.Params) {
+		return nil, fmt.Errorf("occam: PROC %s wants %d arguments, got %d", name, len(pd.Params), len(args))
+	}
+	e := newEnv(nil)
+	for i, param := range pd.Params {
+		v, err := hostValue(param, args[i])
+		if err != nil {
+			return nil, fmt.Errorf("occam: PROC %s argument %d: %v", name, i, err)
+		}
+		e.vars[param.Name] = &cell{v: v}
+	}
+	proc := ip.K.Go("occam/"+name, func(p *sim.Proc) {
+		if err := ip.exec(p, e, pd.Body); err != nil {
+			ip.fail(err)
+		}
+	})
+	return proc, nil
+}
+
+// hostValue converts a host argument to an interpreter value.
+func hostValue(param Param, a interface{}) (interface{}, error) {
+	switch param.Type {
+	case TypeInt:
+		switch x := a.(type) {
+		case int:
+			return int32(x), nil
+		case int32:
+			return x, nil
+		}
+	case TypeReal:
+		switch x := a.(type) {
+		case float64:
+			return fparith.FromFloat64(x), nil
+		case fparith.F64:
+			return x, nil
+		}
+	case TypeBool:
+		if x, ok := a.(bool); ok {
+			return x, nil
+		}
+	case TypeChan:
+		switch x := a.(type) {
+		case Channel:
+			return x, nil
+		case *sim.Chan:
+			return WrapChan(x), nil
+		}
+		// Late import cycle avoidance: sublinks arrive pre-wrapped via
+		// WrapSublink or as Channel.
+	}
+	return nil, fmt.Errorf("cannot pass %T as %v", a, param.Type)
+}
+
+// exec runs one process node.
+func (ip *Interp) exec(p *sim.Proc, e *env, pr Process) error {
+	switch n := pr.(type) {
+	case *Block:
+		scope := newEnv(e)
+		for _, item := range n.Items {
+			if err := ip.exec(p, scope, item); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *Decl:
+		return ip.declare(p, e, n)
+
+	case *Seq:
+		if n.Repl == nil {
+			for _, item := range n.Body {
+				if err := ip.exec(p, e, item); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return ip.replicate(p, e, n.Repl, func(scope *env) error {
+			for _, item := range n.Body {
+				if err := ip.exec(p, scope, item); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+
+	case *Par:
+		return ip.execPar(p, e, n)
+
+	case *If:
+		p.Wait(stmtCost)
+		for _, br := range n.Branches {
+			v, err := ip.eval(p, e, br.Cond)
+			if err != nil {
+				return err
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("occam: line %d: IF guard is not BOOL", n.Line)
+			}
+			if b {
+				return ip.exec(p, e, br.Body)
+			}
+		}
+		return fmt.Errorf("occam: line %d: no IF guard true (STOP)", n.Line)
+
+	case *While:
+		for {
+			p.Wait(stmtCost)
+			v, err := ip.eval(p, e, n.Cond)
+			if err != nil {
+				return err
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("occam: WHILE condition is not BOOL")
+			}
+			if !b {
+				return nil
+			}
+			if err := ip.exec(p, e, n.Body); err != nil {
+				return err
+			}
+		}
+
+	case *Alt:
+		return ip.execAlt(p, e, n)
+
+	case *Assign:
+		p.Wait(stmtCost)
+		v, err := ip.eval(p, e, n.Src)
+		if err != nil {
+			return err
+		}
+		return ip.assign(p, e, n.Dest, v, n.Line)
+
+	case *Send:
+		p.Wait(chanCost)
+		ch, err := ip.channel(e, n.Chan, n.Line)
+		if err != nil {
+			return err
+		}
+		v, err := ip.eval(p, e, n.Val)
+		if err != nil {
+			return err
+		}
+		// Arrays travel by value: the receiver gets a copy.
+		switch arr := v.(type) {
+		case []int32:
+			v = append([]int32(nil), arr...)
+		case []fparith.F64:
+			v = append([]fparith.F64(nil), arr...)
+		}
+		return ch.send(p, v)
+
+	case *Recv:
+		p.Wait(chanCost)
+		ch, err := ip.channel(e, n.Chan, n.Line)
+		if err != nil {
+			return err
+		}
+		v, err := ch.recv(p)
+		if err != nil {
+			return err
+		}
+		return ip.assign(p, e, n.Dest, v, n.Line)
+
+	case *Call:
+		return ip.call(p, e, n)
+
+	case *Skip:
+		return nil
+
+	case *Stop:
+		return fmt.Errorf("occam: line %d: STOP executed", n.Line)
+	}
+	return fmt.Errorf("occam: unknown process node %T", pr)
+}
+
+func (ip *Interp) declare(p *sim.Proc, e *env, d *Decl) error {
+	if d.Size != nil {
+		sz, err := ip.eval(p, e, d.Size)
+		if err != nil {
+			return err
+		}
+		n, ok := sz.(int32)
+		if !ok || n < 0 {
+			return fmt.Errorf("occam: line %d: bad array size", d.Line)
+		}
+		for _, name := range d.Names {
+			switch d.Type {
+			case TypeInt:
+				e.vars[name] = &cell{v: make([]int32, n)}
+			case TypeReal:
+				e.vars[name] = &cell{v: make([]fparith.F64, n)}
+			default:
+				return fmt.Errorf("occam: line %d: arrays must be INT or REAL64", d.Line)
+			}
+		}
+		return nil
+	}
+	for _, name := range d.Names {
+		switch d.Type {
+		case TypeInt:
+			e.vars[name] = &cell{v: int32(0)}
+		case TypeReal:
+			e.vars[name] = &cell{v: fparith.F64(0)}
+		case TypeBool:
+			e.vars[name] = &cell{v: false}
+		case TypeChan:
+			e.vars[name] = &cell{v: NewInternalChan(ip.K, name)}
+		}
+	}
+	return nil
+}
+
+func (ip *Interp) replicate(p *sim.Proc, e *env, r *Replicator, body func(*env) error) error {
+	sv, err := ip.eval(p, e, r.Start)
+	if err != nil {
+		return err
+	}
+	cv, err := ip.eval(p, e, r.Count)
+	if err != nil {
+		return err
+	}
+	start, ok1 := sv.(int32)
+	count, ok2 := cv.(int32)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("occam: replicator bounds must be INT")
+	}
+	for i := int32(0); i < count; i++ {
+		scope := newEnv(e)
+		scope.vars[r.Var] = &cell{v: start + i}
+		p.Wait(stmtCost)
+		if err := body(scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ip *Interp) execPar(p *sim.Proc, e *env, n *Par) error {
+	// Expand the branch list (replicated PAR runs count copies of the
+	// whole body with distinct index bindings).
+	type branch struct {
+		env *env
+		pr  Process
+	}
+	var branches []branch
+	if n.Repl == nil {
+		for _, item := range n.Body {
+			branches = append(branches, branch{env: e, pr: item})
+		}
+	} else {
+		sv, err := ip.eval(p, e, n.Repl.Start)
+		if err != nil {
+			return err
+		}
+		cv, err := ip.eval(p, e, n.Repl.Count)
+		if err != nil {
+			return err
+		}
+		start, ok1 := sv.(int32)
+		count, ok2 := cv.(int32)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("occam: replicator bounds must be INT")
+		}
+		for i := int32(0); i < count; i++ {
+			scope := newEnv(e)
+			scope.vars[n.Repl.Var] = &cell{v: start + i}
+			branches = append(branches, branch{env: scope, pr: &Block{Items: n.Body}})
+		}
+	}
+	if len(branches) == 0 {
+		return nil
+	}
+	done := sim.NewChan(ip.K, "par/join", len(branches))
+	var firstErr error
+	for _, br := range branches {
+		b := br
+		p.Wait(spawnCost)
+		ip.K.Go("occam/par", func(cp *sim.Proc) {
+			if err := ip.exec(cp, b.env, b.pr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			done.Send(cp, struct{}{})
+		})
+	}
+	for range branches {
+		done.Recv(p)
+	}
+	return firstErr
+}
+
+func (ip *Interp) execAlt(p *sim.Proc, e *env, n *Alt) error {
+	p.Wait(stmtCost)
+	chans := make([]Channel, len(n.Branches))
+	alts := make([]*sim.Chan, len(n.Branches))
+	for i, br := range n.Branches {
+		ch, err := ip.channel(e, br.Chan, n.Line)
+		if err != nil {
+			return err
+		}
+		chans[i] = ch
+		alts[i] = ch.altChan()
+	}
+	idx, raw := sim.Select(p, alts...)
+	if idx < 0 {
+		return fmt.Errorf("occam: line %d: ALT could not identify its channel", n.Line)
+	}
+	v, err := chans[idx].decode(raw)
+	if err != nil {
+		return err
+	}
+	br := n.Branches[idx]
+	if err := ip.assign(p, e, br.Dest, v, n.Line); err != nil {
+		return err
+	}
+	return ip.exec(p, e, br.Body)
+}
+
+func (ip *Interp) channel(e *env, name string, line int) (Channel, error) {
+	c, ok := e.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("occam: line %d: unknown channel %s", line, name)
+	}
+	ch, ok := c.v.(Channel)
+	if !ok {
+		return nil, fmt.Errorf("occam: line %d: %s is not a channel", line, name)
+	}
+	return ch, nil
+}
+
+func (ip *Interp) assign(p *sim.Proc, e *env, lv LValue, v interface{}, line int) error {
+	c, ok := e.lookup(lv.Name)
+	if !ok {
+		return fmt.Errorf("occam: line %d: unknown variable %s", line, lv.Name)
+	}
+	if lv.Index == nil {
+		// Type must be preserved; arrays assign elementwise into the
+		// existing storage (so channel receives fill the declared array).
+		switch cur := c.v.(type) {
+		case int32:
+			if _, ok := v.(int32); !ok {
+				return fmt.Errorf("occam: line %d: type mismatch assigning to INT %s", line, lv.Name)
+			}
+		case fparith.F64:
+			if _, ok := v.(fparith.F64); !ok {
+				return fmt.Errorf("occam: line %d: type mismatch assigning to REAL64 %s", line, lv.Name)
+			}
+		case bool:
+			if _, ok := v.(bool); !ok {
+				return fmt.Errorf("occam: line %d: type mismatch assigning to BOOL %s", line, lv.Name)
+			}
+		case []int32:
+			src, ok := v.([]int32)
+			if !ok || len(src) != len(cur) {
+				return fmt.Errorf("occam: line %d: array assignment to %s needs an INT array of length %d", line, lv.Name, len(cur))
+			}
+			copy(cur, src)
+			return nil
+		case []fparith.F64:
+			src, ok := v.([]fparith.F64)
+			if !ok || len(src) != len(cur) {
+				return fmt.Errorf("occam: line %d: array assignment to %s needs a REAL64 array of length %d", line, lv.Name, len(cur))
+			}
+			copy(cur, src)
+			return nil
+		default:
+			return fmt.Errorf("occam: line %d: cannot assign to %s", line, lv.Name)
+		}
+		c.v = v
+		return nil
+	}
+	iv, err := ip.eval(p, e, lv.Index)
+	if err != nil {
+		return err
+	}
+	i, ok := iv.(int32)
+	if !ok {
+		return fmt.Errorf("occam: line %d: array index must be INT", line)
+	}
+	switch arr := c.v.(type) {
+	case []int32:
+		x, ok := v.(int32)
+		if !ok {
+			return fmt.Errorf("occam: line %d: type mismatch storing into INT array", line)
+		}
+		if i < 0 || int(i) >= len(arr) {
+			return fmt.Errorf("occam: line %d: index %d out of range", line, i)
+		}
+		arr[i] = x
+	case []fparith.F64:
+		x, ok := v.(fparith.F64)
+		if !ok {
+			return fmt.Errorf("occam: line %d: type mismatch storing into REAL64 array", line)
+		}
+		if i < 0 || int(i) >= len(arr) {
+			return fmt.Errorf("occam: line %d: index %d out of range", line, i)
+		}
+		arr[i] = x
+	default:
+		return fmt.Errorf("occam: line %d: %s is not an array", line, lv.Name)
+	}
+	return nil
+}
+
+// call dispatches a PROC call: builtins first, then user PROCs.
+func (ip *Interp) call(p *sim.Proc, e *env, n *Call) error {
+	p.Wait(stmtCost)
+	if done, err := ip.builtin(p, e, n); done {
+		return err
+	}
+	pd, ok := ip.Prog.Procs[n.Name]
+	if !ok {
+		return fmt.Errorf("occam: line %d: unknown PROC %s", n.Line, n.Name)
+	}
+	if len(n.Args) != len(pd.Params) {
+		return fmt.Errorf("occam: line %d: PROC %s wants %d arguments, got %d", n.Line, n.Name, len(pd.Params), len(n.Args))
+	}
+	scope := newEnv(nil)
+	for i, param := range pd.Params {
+		if param.Val || param.Type == TypeChan {
+			v, err := ip.eval(p, e, n.Args[i])
+			if err != nil {
+				return err
+			}
+			scope.vars[param.Name] = &cell{v: v}
+			continue
+		}
+		// Non-VAL data parameter: pass the cell by reference; the actual
+		// must be a plain variable.
+		vr, ok := n.Args[i].(*VarRef)
+		if !ok || vr.Index != nil {
+			return fmt.Errorf("occam: line %d: argument %d of %s must be a variable (non-VAL parameter)", n.Line, i, n.Name)
+		}
+		c, ok := e.lookup(vr.Name)
+		if !ok {
+			return fmt.Errorf("occam: line %d: unknown variable %s", n.Line, vr.Name)
+		}
+		scope.vars[param.Name] = c
+	}
+	// No lexical capture across PROC boundaries, as in Occam: the callee
+	// sees only its own bindings.
+	return ip.exec(p, scope, pd.Body)
+}
+
+// eval computes an expression.
+func (ip *Interp) eval(p *sim.Proc, e *env, x Expr) (interface{}, error) {
+	switch n := x.(type) {
+	case *IntLit:
+		return n.V, nil
+	case *RealLit:
+		return fparith.FromFloat64(n.V), nil
+	case *BoolLit:
+		return n.V, nil
+	case *VarRef:
+		c, ok := e.lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("occam: unknown variable %s", n.Name)
+		}
+		if n.Index == nil {
+			return c.v, nil
+		}
+		iv, err := ip.eval(p, e, n.Index)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := iv.(int32)
+		if !ok {
+			return nil, fmt.Errorf("occam: array index must be INT")
+		}
+		switch arr := c.v.(type) {
+		case []int32:
+			if i < 0 || int(i) >= len(arr) {
+				return nil, fmt.Errorf("occam: index %d out of range on %s", i, n.Name)
+			}
+			return arr[i], nil
+		case []fparith.F64:
+			if i < 0 || int(i) >= len(arr) {
+				return nil, fmt.Errorf("occam: index %d out of range on %s", i, n.Name)
+			}
+			return arr[i], nil
+		}
+		return nil, fmt.Errorf("occam: %s is not an array", n.Name)
+	case *UnOp:
+		v, err := ip.eval(p, e, n.X)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "-":
+			switch t := v.(type) {
+			case int32:
+				return -t, nil
+			case fparith.F64:
+				return fparith.Neg64(t), nil
+			}
+		case "NOT":
+			if b, ok := v.(bool); ok {
+				return !b, nil
+			}
+		}
+		return nil, fmt.Errorf("occam: bad operand for %s", n.Op)
+	case *BinOp:
+		return ip.evalBin(p, e, n)
+	}
+	return nil, fmt.Errorf("occam: unknown expression %T", x)
+}
+
+func (ip *Interp) evalBin(p *sim.Proc, e *env, n *BinOp) (interface{}, error) {
+	l, err := ip.eval(p, e, n.L)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit booleans.
+	if n.Op == "AND" || n.Op == "OR" {
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, fmt.Errorf("occam: %s needs BOOL operands", n.Op)
+		}
+		if n.Op == "AND" && !lb {
+			return false, nil
+		}
+		if n.Op == "OR" && lb {
+			return true, nil
+		}
+		r, err := ip.eval(p, e, n.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("occam: %s needs BOOL operands", n.Op)
+		}
+		return rb, nil
+	}
+	r, err := ip.eval(p, e, n.R)
+	if err != nil {
+		return nil, err
+	}
+	switch lv := l.(type) {
+	case int32:
+		rv, ok := r.(int32)
+		if !ok {
+			return nil, fmt.Errorf("occam: mixed INT/%T operands (no implicit conversion)", r)
+		}
+		switch n.Op {
+		case "+":
+			return lv + rv, nil
+		case "-":
+			return lv - rv, nil
+		case "*":
+			p.Wait(2 * cp.Tick)
+			return lv * rv, nil
+		case "/":
+			if rv == 0 {
+				return nil, fmt.Errorf("occam: integer division by zero")
+			}
+			p.Wait(4 * cp.Tick)
+			return lv / rv, nil
+		case "\\":
+			if rv == 0 {
+				return nil, fmt.Errorf("occam: remainder by zero")
+			}
+			p.Wait(4 * cp.Tick)
+			return lv % rv, nil
+		case "=":
+			return lv == rv, nil
+		case "<>":
+			return lv != rv, nil
+		case "<":
+			return lv < rv, nil
+		case ">":
+			return lv > rv, nil
+		case "<=":
+			return lv <= rv, nil
+		case ">=":
+			return lv >= rv, nil
+		}
+	case fparith.F64:
+		rv, ok := r.(fparith.F64)
+		if !ok {
+			return nil, fmt.Errorf("occam: mixed REAL64/%T operands (no implicit conversion)", r)
+		}
+		switch n.Op {
+		case "+":
+			return fparith.Add64(lv, rv), nil
+		case "-":
+			return fparith.Sub64(lv, rv), nil
+		case "*":
+			return fparith.Mul64(lv, rv), nil
+		case "/":
+			return fparith.Div64(lv, rv), nil
+		case "=":
+			return fparith.Cmp64(lv, rv) == 0, nil
+		case "<>":
+			return fparith.Cmp64(lv, rv) != 0, nil
+		case "<":
+			return fparith.Cmp64(lv, rv) == -1, nil
+		case ">":
+			return fparith.Cmp64(lv, rv) == 1, nil
+		case "<=":
+			c := fparith.Cmp64(lv, rv)
+			return c == -1 || c == 0, nil
+		case ">=":
+			c := fparith.Cmp64(lv, rv)
+			return c == 1 || c == 0, nil
+		}
+	case bool:
+		rv, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("occam: mixed BOOL/%T operands", r)
+		}
+		switch n.Op {
+		case "=":
+			return lv == rv, nil
+		case "<>":
+			return lv != rv, nil
+		}
+	}
+	return nil, fmt.Errorf("occam: operator %s not defined for these operands", n.Op)
+}
+
+// builtin runs predefined PROCs: vector unit control and utilities. It
+// reports handled=true when the name is a builtin.
+func (ip *Interp) builtin(p *sim.Proc, e *env, n *Call) (bool, error) {
+	switch n.Name {
+	case "VADD", "VMUL", "VSUB":
+		return true, ip.vecDyadic(p, e, n)
+	case "SAXPY":
+		return true, ip.vecSaxpy(p, e, n)
+	case "DOT", "SUM":
+		return true, ip.vecReduce(p, e, n)
+	case "PRINT":
+		for _, a := range n.Args {
+			v, err := ip.eval(p, e, a)
+			if err != nil {
+				return true, err
+			}
+			if ip.Out != nil {
+				switch t := v.(type) {
+				case fparith.F64:
+					fmt.Fprintf(ip.Out, "%v ", t.Float64())
+				default:
+					fmt.Fprintf(ip.Out, "%v ", t)
+				}
+			}
+		}
+		if ip.Out != nil {
+			fmt.Fprintln(ip.Out)
+		}
+		return true, nil
+	case "DELAY":
+		if len(n.Args) != 1 {
+			return true, fmt.Errorf("occam: DELAY takes one INT (microseconds)")
+		}
+		v, err := ip.eval(p, e, n.Args[0])
+		if err != nil {
+			return true, err
+		}
+		us, ok := v.(int32)
+		if !ok || us < 0 {
+			return true, fmt.Errorf("occam: DELAY wants a non-negative INT")
+		}
+		p.Wait(sim.Duration(us) * sim.Microsecond)
+		return true, nil
+	case "TIME":
+		if len(n.Args) != 1 {
+			return true, fmt.Errorf("occam: TIME takes one INT variable")
+		}
+		vr, ok := n.Args[0].(*VarRef)
+		if !ok {
+			return true, fmt.Errorf("occam: TIME argument must be a variable")
+		}
+		c, ok := e.lookup(vr.Name)
+		if !ok {
+			return true, fmt.Errorf("occam: unknown variable %s", vr.Name)
+		}
+		c.v = int32(sim.Duration(p.Now()) / sim.Microsecond)
+		return true, nil
+	}
+	return false, nil
+}
+
+func (ip *Interp) rows(p *sim.Proc, e *env, args []Expr) ([]int, error) {
+	out := make([]int, len(args))
+	for i, a := range args {
+		v, err := ip.eval(p, e, a)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := v.(int32)
+		if !ok {
+			return nil, fmt.Errorf("occam: vector row arguments must be INT")
+		}
+		out[i] = int(r)
+	}
+	return out, nil
+}
+
+func (ip *Interp) vecDyadic(p *sim.Proc, e *env, n *Call) error {
+	if ip.Node == nil {
+		return fmt.Errorf("occam: line %d: %s needs a node-bound interpreter", n.Line, n.Name)
+	}
+	if len(n.Args) != 3 {
+		return fmt.Errorf("occam: line %d: %s(x, y, z) takes three row numbers", n.Line, n.Name)
+	}
+	rows, err := ip.rows(p, e, n.Args)
+	if err != nil {
+		return err
+	}
+	form := map[string]fpu.Form{"VADD": fpu.VAdd, "VSUB": fpu.VSub, "VMUL": fpu.VMul}[n.Name]
+	_, err = ip.Node.RunForm(p, fpu.Op{Form: form, Prec: fpu.P64, X: rows[0], Y: rows[1], Z: rows[2]})
+	return err
+}
+
+func (ip *Interp) vecSaxpy(p *sim.Proc, e *env, n *Call) error {
+	if ip.Node == nil {
+		return fmt.Errorf("occam: line %d: SAXPY needs a node-bound interpreter", n.Line)
+	}
+	if len(n.Args) != 4 {
+		return fmt.Errorf("occam: line %d: SAXPY(a, x, y, z)", n.Line)
+	}
+	av, err := ip.eval(p, e, n.Args[0])
+	if err != nil {
+		return err
+	}
+	a, ok := av.(fparith.F64)
+	if !ok {
+		return fmt.Errorf("occam: line %d: SAXPY scalar must be REAL64", n.Line)
+	}
+	rows, err := ip.rows(p, e, n.Args[1:])
+	if err != nil {
+		return err
+	}
+	_, err = ip.Node.RunForm(p, fpu.Op{Form: fpu.SAXPY, Prec: fpu.P64, A: a, X: rows[0], Y: rows[1], Z: rows[2]})
+	return err
+}
+
+func (ip *Interp) vecReduce(p *sim.Proc, e *env, n *Call) error {
+	if ip.Node == nil {
+		return fmt.Errorf("occam: line %d: %s needs a node-bound interpreter", n.Line, n.Name)
+	}
+	want := 3
+	if n.Name == "SUM" {
+		want = 2
+	}
+	if len(n.Args) != want {
+		return fmt.Errorf("occam: line %d: %s takes %d arguments (rows…, result)", n.Line, n.Name, want)
+	}
+	vr, ok := n.Args[len(n.Args)-1].(*VarRef)
+	if !ok || vr.Index != nil {
+		return fmt.Errorf("occam: line %d: %s result must be a REAL64 variable", n.Line, n.Name)
+	}
+	c, ok := e.lookup(vr.Name)
+	if !ok {
+		return fmt.Errorf("occam: line %d: unknown variable %s", n.Line, vr.Name)
+	}
+	rows, err := ip.rows(p, e, n.Args[:len(n.Args)-1])
+	if err != nil {
+		return err
+	}
+	op := fpu.Op{Form: fpu.Dot, Prec: fpu.P64, X: rows[0]}
+	if n.Name == "DOT" {
+		op.Y = rows[1]
+	} else {
+		op.Form = fpu.Sum
+	}
+	res, err := ip.Node.RunForm(p, op)
+	if err != nil {
+		return err
+	}
+	c.v = res.Scalar
+	return nil
+}

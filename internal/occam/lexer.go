@@ -1,0 +1,163 @@
+// Package occam implements a working subset of Occam, the language of
+// the T Series control processor. Occam "differs from languages like
+// Pascal or C in that it directly provides for the execution of
+// parallel, communicating processes": SEQ, PAR and ALT constructors,
+// channel communication (! and ?), and replication. Programs run as
+// simulated processes on a node's control processor, with channels bound
+// either internally (between processes on one node) or to link sublinks
+// (between nodes); builtin procedures drive the vector arithmetic unit.
+//
+// Supported subset: PROC definitions with VAL/INT/REAL64/BOOL/CHAN
+// parameters; INT, REAL64, BOOL scalars; fixed-size arrays; SEQ/PAR
+// (optionally replicated), IF, WHILE, ALT; assignment, channel send and
+// receive, SKIP, STOP; integer and 64-bit floating arithmetic (the
+// latter computed by the simulator's bit-exact fparith unit).
+package occam
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokIdent
+	tokKeyword
+	tokInt
+	tokReal
+	tokString
+	tokOp // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"PROC": true, "SEQ": true, "PAR": true, "ALT": true, "IF": true,
+	"WHILE": true, "INT": true, "REAL64": true, "BOOL": true, "CHAN": true,
+	"TRUE": true, "FALSE": true, "SKIP": true, "STOP": true, "FOR": true,
+	"VAL": true, "AND": true, "OR": true, "NOT": true,
+}
+
+// multi-character operators, longest first.
+var operators = []string{
+	":=", "<=", ">=", "<>", "!", "?", "+", "-", "*", "/", "\\",
+	"=", "<", ">", "(", ")", "[", "]", ",", ":",
+}
+
+// lex converts source text to tokens with INDENT/DEDENT structure.
+// Indentation is two spaces per level, as in Occam.
+func lex(src string) ([]token, error) {
+	var toks []token
+	indents := []int{0}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		ln := lineNo + 1
+		// Strip comments ("--" to end of line).
+		line := raw
+		if i := strings.Index(line, "--"); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		// Measure indentation.
+		ind := 0
+		for ind < len(line) && line[ind] == ' ' {
+			ind++
+		}
+		if strings.HasPrefix(line[ind:], "\t") {
+			return nil, fmt.Errorf("occam: line %d: tabs not allowed in indentation", ln)
+		}
+		if ind%2 != 0 {
+			return nil, fmt.Errorf("occam: line %d: indentation must be a multiple of two spaces", ln)
+		}
+		level := ind / 2
+		cur := indents[len(indents)-1]
+		switch {
+		case level == cur+1:
+			indents = append(indents, level)
+			toks = append(toks, token{tokIndent, "", ln})
+		case level > cur+1:
+			return nil, fmt.Errorf("occam: line %d: indentation jumps more than one level", ln)
+		case level < cur:
+			for indents[len(indents)-1] > level {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, token{tokDedent, "", ln})
+			}
+			if indents[len(indents)-1] != level {
+				return nil, fmt.Errorf("occam: line %d: inconsistent dedent", ln)
+			}
+		}
+		// Tokenise the line content.
+		s := line[ind:]
+		for len(s) > 0 {
+			switch {
+			case s[0] == ' ':
+				s = s[1:]
+			case isAlpha(s[0]):
+				j := 1
+				for j < len(s) && (isAlpha(s[j]) || isDigit(s[j]) || s[j] == '.') {
+					j++
+				}
+				word := s[:j]
+				if keywords[word] {
+					toks = append(toks, token{tokKeyword, word, ln})
+				} else {
+					toks = append(toks, token{tokIdent, word, ln})
+				}
+				s = s[j:]
+			case isDigit(s[0]):
+				j := 1
+				real := false
+				for j < len(s) && (isDigit(s[j]) || s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+					((s[j] == '+' || s[j] == '-') && (s[j-1] == 'e' || s[j-1] == 'E'))) {
+					if s[j] == '.' || s[j] == 'e' || s[j] == 'E' {
+						real = true
+					}
+					j++
+				}
+				kind := tokInt
+				if real {
+					kind = tokReal
+				}
+				toks = append(toks, token{kind, s[:j], ln})
+				s = s[j:]
+			default:
+				matched := false
+				for _, op := range operators {
+					if strings.HasPrefix(s, op) {
+						toks = append(toks, token{tokOp, op, ln})
+						s = s[len(op):]
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					return nil, fmt.Errorf("occam: line %d: unexpected character %q", ln, s[0])
+				}
+			}
+		}
+		toks = append(toks, token{tokNewline, "", ln})
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, token{tokDedent, "", 0})
+	}
+	toks = append(toks, token{tokEOF, "", 0})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,56 @@
+package occam
+
+// The classic Occam utility processes, as source text callers can
+// prepend to their programs (Parse accepts multiple PROCs). These are
+// the idioms the Occam literature of the era built everything from:
+// buffers that decouple producers from consumers, multiplexers that
+// merge streams, and delta processes that fan values out.
+
+// LibBuffer is a one-place buffer: forwards count values from in to out,
+// decoupling the two ends by one rendezvous.
+const LibBuffer = `
+PROC buffer(CHAN in, CHAN out, VAL INT count)
+  INT v:
+  SEQ i = 0 FOR count
+    SEQ
+      in ? v
+      out ! v
+`
+
+// LibMux merges two input streams onto one output using ALT, tagging
+// nothing — it simply forwards whichever input is ready, count values
+// total.
+const LibMux = `
+PROC mux(CHAN in0, CHAN in1, CHAN out, VAL INT count)
+  INT v:
+  SEQ i = 0 FOR count
+    ALT
+      in0 ? v
+        out ! v
+      in1 ? v
+        out ! v
+`
+
+// LibDelta copies each input value to both outputs (a fan-out).
+const LibDelta = `
+PROC delta(CHAN in, CHAN out0, CHAN out1, VAL INT count)
+  INT v:
+  SEQ i = 0 FOR count
+    SEQ
+      in ? v
+      out0 ! v
+      out1 ! v
+`
+
+// LibAccumulate sums count integers from in and sends the total on out.
+const LibAccumulate = `
+PROC accumulate(CHAN in, CHAN out, VAL INT count)
+  INT v, acc:
+  SEQ
+    acc := 0
+    SEQ i = 0 FOR count
+      SEQ
+        in ? v
+        acc := acc + v
+    out ! acc
+`

@@ -1,0 +1,364 @@
+package occam
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tseries/internal/node"
+	"tseries/internal/sim"
+)
+
+func nodeNew(k *sim.Kernel, id int) *node.Node { return node.New(k, id) }
+
+func TestSievePipeline(t *testing.T) {
+	// The classic Occam demonstration: a dynamic-feeling sieve built
+	// from a fixed pipeline of filter processes, each holding one prime.
+	_, out := run(t, `
+PROC filter(VAL INT prime, CHAN in, CHAN out)
+  INT v:
+  BOOL running:
+  SEQ
+    running := TRUE
+    WHILE running
+      SEQ
+        in ? v
+        IF
+          v = 0
+            SEQ
+              out ! 0
+              running := FALSE
+          (v \ prime) = 0
+            SKIP
+          TRUE
+            out ! v
+
+PROC main()
+  CHAN c0, c1, c2, c3:
+  PAR
+    SEQ                -- generator: 2..30 then 0 sentinel
+      SEQ i = 2 FOR 29
+        c0 ! i
+      c0 ! 0
+    filter(2, c0, c1)
+    filter(3, c1, c2)
+    filter(5, c2, c3)
+    INT v:
+    BOOL running:
+    SEQ                -- collector prints what survives (primes > 5 and primes 2,3,5 are consumed by their filters… only survivors arrive)
+      running := TRUE
+      WHILE running
+        SEQ
+          c3 ? v
+          IF
+            v = 0
+              running := FALSE
+            TRUE
+              PRINT(v)
+`)
+	// Survivors of filters 2,3,5 from 2..30 — note each filter passes
+	// values not divisible by its prime, so 2,3,5 themselves are eaten.
+	want := []string{"7", "11", "13", "17", "19", "23", "29"}
+	got := strings.Fields(out)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDelayBuiltin(t *testing.T) {
+	prog, err := Parse(`
+PROC main()
+  SEQ
+    DELAY(1000)
+    DELAY(500)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	ip := New(k, prog, nil)
+	if _, err := ip.Start("main"); err != nil {
+		t.Fatal(err)
+	}
+	end := k.Run(0)
+	if ip.Err() != nil {
+		t.Fatal(ip.Err())
+	}
+	if end < sim.Time(1500*sim.Microsecond) || end > sim.Time(1600*sim.Microsecond) {
+		t.Fatalf("delays took %v, want ≈1.5ms", end)
+	}
+}
+
+func TestNestedProcCalls(t *testing.T) {
+	_, out := run(t, `
+PROC add(VAL INT a, VAL INT b, INT r)
+  r := a + b
+
+PROC quadruple(INT x)
+  INT t:
+  SEQ
+    add(x, x, t)
+    add(t, t, x)
+
+PROC main()
+  INT v:
+  SEQ
+    v := 5
+    quadruple(v)
+    PRINT(v)
+`)
+	if strings.TrimSpace(out) != "20" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDeterministicProgramTiming(t *testing.T) {
+	// The same program takes the identical simulated time on every run.
+	src := `
+PROC main()
+  CHAN c:
+  INT v:
+  PAR
+    SEQ i = 0 FOR 20
+      c ! i
+    SEQ i = 0 FOR 20
+      c ? v
+`
+	times := make([]sim.Time, 2)
+	for r := range times {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := sim.NewKernel()
+		ip := New(k, prog, nil)
+		if _, err := ip.Start("main"); err != nil {
+			t.Fatal(err)
+		}
+		times[r] = k.Run(0)
+		if ip.Err() != nil {
+			t.Fatal(ip.Err())
+		}
+	}
+	if times[0] != times[1] {
+		t.Fatalf("non-deterministic timing: %v vs %v", times[0], times[1])
+	}
+}
+
+// TestQuickExpressions generates random integer expression trees,
+// evaluates them on the host, and checks the interpreter agrees.
+func TestQuickExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	var gen func(depth int) (string, int32, bool)
+	gen = func(depth int) (string, int32, bool) {
+		if depth == 0 || r.Intn(3) == 0 {
+			v := int32(r.Intn(2001) - 1000)
+			if v < 0 {
+				// Parenthesise negatives so unary minus binds clearly.
+				return fmt.Sprintf("(0 - %d)", -v), v, true
+			}
+			return fmt.Sprintf("%d", v), v, true
+		}
+		ls, lv, ok1 := gen(depth - 1)
+		rs, rv, ok2 := gen(depth - 1)
+		if !ok1 || !ok2 {
+			return "", 0, false
+		}
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv, true
+		case 1:
+			return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv, true
+		case 2:
+			return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv, true
+		default:
+			if rv == 0 {
+				return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv, true
+			}
+			return fmt.Sprintf("(%s / %s)", ls, rs), lv / rv, true
+		}
+	}
+	for i := 0; i < 60; i++ {
+		src, want, ok := gen(4)
+		if !ok {
+			continue
+		}
+		_, out := run(t, fmt.Sprintf(`
+PROC main()
+  INT x:
+  SEQ
+    x := %s
+    PRINT(x)
+`, src))
+		if strings.TrimSpace(out) != fmt.Sprintf("%d", want) {
+			t.Fatalf("expr %s = %s, want %d", src, strings.TrimSpace(out), want)
+		}
+	}
+}
+
+func TestBoolLogic(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  BOOL a, b:
+  SEQ
+    a := TRUE
+    b := NOT a
+    IF
+      a AND (NOT b)
+        PRINT(1)
+      TRUE
+        PRINT(0)
+    IF
+      b OR (3 > 5)
+        PRINT(1)
+      TRUE
+        PRINT(0)
+`)
+	f := strings.Fields(out)
+	if len(f) != 2 || f[0] != "1" || f[1] != "0" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestArrayOverInternalChannel(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  CHAN c:
+  [4]INT a, b:
+  SEQ
+    SEQ i = 0 FOR 4
+      a[i] := i * 11
+    PAR
+      c ! a
+      c ? b
+    a[0] := 999       -- sender's later writes must not affect the copy
+    PRINT(b[0])
+    PRINT(b[3])
+`)
+	f := strings.Fields(out)
+	if len(f) != 2 || f[0] != "0" || f[1] != "33" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestArrayOverLink(t *testing.T) {
+	prog, err := Parse(`
+PROC sender(CHAN out)
+  [3]REAL64 v:
+  SEQ
+    v[0] := 1.5
+    v[1] := 2.5
+    v[2] := 3.5
+    out ! v
+
+PROC receiver(CHAN in)
+  [3]REAL64 v:
+  SEQ
+    in ? v
+    PRINT(v[0] + (v[1] + v[2]))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	na := nodeNew(k, 0)
+	nb := nodeNew(k, 1)
+	if err := linkConnect(na, nb); err != nil {
+		t.Fatal(err)
+	}
+	ipa := New(k, prog, na)
+	ipb := New(k, prog, nb)
+	var out bytes.Buffer
+	ipb.Out = &out
+	if _, err := ipa.Start("sender", WrapSublink(na.Sublink(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ipb.Start("receiver", WrapSublink(nb.Sublink(0))); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	if ipa.Err() != nil || ipb.Err() != nil {
+		t.Fatal(ipa.Err(), ipb.Err())
+	}
+	if strings.TrimSpace(out.String()) != "7.5" {
+		t.Fatalf("out = %q", out.String())
+	}
+}
+
+func TestArrayLengthMismatch(t *testing.T) {
+	prog, err := Parse(`
+PROC main()
+  CHAN c:
+  [4]INT a:
+  [3]INT b:
+  PAR
+    c ! a
+    c ? b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	ip := New(k, prog, nil)
+	if _, err := ip.Start("main"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	if ip.Err() == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLibBufferAndAccumulate(t *testing.T) {
+	_, out := run(t, LibBuffer+LibAccumulate+`
+PROC main()
+  CHAN a, b, r:
+  INT total:
+  PAR
+    SEQ i = 1 FOR 5
+      a ! i * i
+    buffer(a, b, 5)
+    accumulate(b, r, 5)
+    SEQ
+      r ? total
+      PRINT(total)
+`)
+	if strings.TrimSpace(out) != "55" { // 1+4+9+16+25
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestLibMuxAndDelta(t *testing.T) {
+	// Two producers → mux → delta → two accumulators; both accumulators
+	// must see the full merged stream.
+	_, out := run(t, LibMux+LibDelta+LibAccumulate+`
+PROC main()
+  CHAN p0, p1, merged, d0, d1, r0, r1:
+  INT t0, t1:
+  PAR
+    SEQ i = 0 FOR 3
+      p0 ! 1
+    SEQ i = 0 FOR 3
+      p1 ! 10
+    mux(p0, p1, merged, 6)
+    delta(merged, d0, d1, 6)
+    accumulate(d0, r0, 6)
+    accumulate(d1, r1, 6)
+    SEQ
+      r0 ? t0
+      r1 ? t1
+      PRINT(t0)
+      PRINT(t1)
+`)
+	f := strings.Fields(out)
+	if len(f) != 2 || f[0] != "33" || f[1] != "33" {
+		t.Fatalf("out = %q", out)
+	}
+}

@@ -1,0 +1,429 @@
+package occam
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tseries/internal/fparith"
+	"tseries/internal/memory"
+	"tseries/internal/node"
+	"tseries/internal/sim"
+)
+
+// run parses src, starts PROC main with args, runs to completion, and
+// returns the interpreter and output.
+func run(t *testing.T, src string, args ...interface{}) (*Interp, string) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	k := sim.NewKernel()
+	ip := New(k, prog, nil)
+	var out bytes.Buffer
+	ip.Out = &out
+	if _, err := ip.Start("main", args...); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	k.Run(0)
+	if ip.Err() != nil {
+		t.Fatalf("runtime: %v", ip.Err())
+	}
+	return ip, out.String()
+}
+
+func TestSeqAssignPrint(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  INT x, y:
+  SEQ
+    x := 6
+    y := x * 7
+    PRINT(y)
+`)
+	if strings.TrimSpace(out) != "42" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRealArithmetic(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  REAL64 a, b, c:
+  SEQ
+    a := 1.5
+    b := 2.25
+    c := (a + b) * 2.0
+    PRINT(c)
+`)
+	if strings.TrimSpace(out) != "7.5" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  INT i, acc:
+  SEQ
+    i := 1
+    acc := 0
+    WHILE i <= 10
+      SEQ
+        acc := acc + i
+        i := i + 1
+    PRINT(acc)
+`)
+	if strings.TrimSpace(out) != "55" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestIfGuards(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  INT x:
+  SEQ
+    x := 5
+    IF
+      x > 10
+        PRINT(1)
+      x > 3
+        PRINT(2)
+      TRUE
+        PRINT(3)
+`)
+	if strings.TrimSpace(out) != "2" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestIfNoGuardIsStop(t *testing.T) {
+	prog, err := Parse(`
+PROC main()
+  IF
+    FALSE
+      SKIP
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	ip := New(k, prog, nil)
+	if _, err := ip.Start("main"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	if ip.Err() == nil {
+		t.Fatal("IF with no true guard must STOP")
+	}
+}
+
+func TestReplicatedSeqAndArrays(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  [10]INT v:
+  INT s:
+  SEQ
+    SEQ i = 0 FOR 10
+      v[i] := i * i
+    s := 0
+    SEQ i = 0 FOR 10
+      s := s + v[i]
+    PRINT(s)
+`)
+	if strings.TrimSpace(out) != "285" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestParAndChannels(t *testing.T) {
+	// Producer and consumer rendezvous over an internal channel.
+	_, out := run(t, `
+PROC main()
+  CHAN c:
+  INT got:
+  SEQ
+    PAR
+      c ! 99
+      c ? got
+    PRINT(got)
+`)
+	if strings.TrimSpace(out) != "99" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestProcCallByReference(t *testing.T) {
+	_, out := run(t, `
+PROC double(INT x)
+  x := x * 2
+
+PROC main()
+  INT v:
+  SEQ
+    v := 21
+    double(v)
+    PRINT(v)
+`)
+	if strings.TrimSpace(out) != "42" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestValParameterCopies(t *testing.T) {
+	_, out := run(t, `
+PROC tweak(VAL INT x, INT out)
+  out := x + 1
+
+PROC main()
+  INT a, b:
+  SEQ
+    a := 7
+    tweak(a, b)
+    PRINT(a)
+    PRINT(b)
+`)
+	if strings.Fields(out)[0] != "7" || strings.Fields(out)[1] != "8" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPipelineOfProcesses(t *testing.T) {
+	// Classic Occam: stages connected by channels, run under PAR.
+	_, out := run(t, `
+PROC stage(CHAN in, CHAN out)
+  INT v:
+  SEQ
+    in ? v
+    out ! v + 1
+
+PROC main()
+  CHAN a, b, c:
+  INT r:
+  PAR
+    a ! 10
+    stage(a, b)
+    stage(b, c)
+    SEQ
+      c ? r
+      PRINT(r)
+`)
+	if strings.TrimSpace(out) != "12" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestAlt(t *testing.T) {
+	// ALT takes whichever input is ready first.
+	_, out := run(t, `
+PROC main()
+  CHAN fast, slow:
+  INT v:
+  PAR
+    fast ! 1
+    SEQ
+      ALT
+        fast ? v
+          PRINT(v)
+        slow ? v
+          PRINT(0 - v)
+      slow ? v
+    slow ! 2
+`)
+	if strings.TrimSpace(out) != "1" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestReplicatedPar(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  CHAN c:
+  INT s, v:
+  SEQ
+    PAR
+      PAR i = 0 FOR 4
+        c ! i
+      SEQ
+        s := 0
+        SEQ j = 0 FOR 4
+          SEQ
+            c ? v
+            s := s + v
+    PRINT(s)
+`)
+	if strings.TrimSpace(out) != "6" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTimingAdvances(t *testing.T) {
+	prog, err := Parse(`
+PROC main()
+  INT i:
+  SEQ i = 0 FOR 1000
+    SKIP
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	ip := New(k, prog, nil)
+	if _, err := ip.Start("main"); err != nil {
+		t.Fatal(err)
+	}
+	end := k.Run(0)
+	// 1000 replication steps at ~3 ticks each ≈ 400 µs.
+	if end < sim.Time(100*sim.Microsecond) || end > sim.Time(2*sim.Millisecond) {
+		t.Fatalf("program time = %v", end)
+	}
+}
+
+func TestVectorBuiltins(t *testing.T) {
+	prog, err := Parse(`
+PROC main()
+  REAL64 d:
+  SEQ
+    SAXPY(2.0, 0, 300, 301)
+    DOT(301, 300, d)
+    PRINT(d)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	nd := node.New(k, 0)
+	// x[i] = 1 (row 0, bank A), y[i] = 3 (row 300, bank B).
+	for i := 0; i < memory.F64PerRow; i++ {
+		nd.Mem.PokeF64(i, fparith.FromInt64(1))
+		nd.Mem.PokeF64(300*memory.F64PerRow+i, fparith.FromInt64(3))
+	}
+	ip := New(k, prog, nd)
+	var out bytes.Buffer
+	ip.Out = &out
+	if _, err := ip.Start("main"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	if ip.Err() != nil {
+		t.Fatal(ip.Err())
+	}
+	// z[i] = 2*1+3 = 5; dot(z, y) = 128 * 15 = 1920.
+	if strings.TrimSpace(out.String()) != "1920" {
+		t.Fatalf("out = %q", out.String())
+	}
+}
+
+func TestLinkChannelsBetweenNodes(t *testing.T) {
+	// Two Occam processes on two nodes talk over a hardware link.
+	prog, err := Parse(`
+PROC sender(CHAN out)
+  out ! 3.5
+
+PROC receiver(CHAN in)
+  REAL64 v:
+  SEQ
+    in ? v
+    PRINT(v * 2.0)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	na := node.New(k, 0)
+	nb := node.New(k, 1)
+	if err := connectNodes(na, nb); err != nil {
+		t.Fatal(err)
+	}
+	ipa := New(k, prog, na)
+	ipb := New(k, prog, nb)
+	var out bytes.Buffer
+	ipb.Out = &out
+	if _, err := ipa.Start("sender", WrapSublink(na.Sublink(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ipb.Start("receiver", WrapSublink(nb.Sublink(0))); err != nil {
+		t.Fatal(err)
+	}
+	end := k.Run(0)
+	if ipa.Err() != nil || ipb.Err() != nil {
+		t.Fatal(ipa.Err(), ipb.Err())
+	}
+	if strings.TrimSpace(out.String()) != "7" {
+		t.Fatalf("out = %q", out.String())
+	}
+	// A 9-byte link message costs ≥ 5µs DMA + 9×1.73µs.
+	if end < sim.Time(20*sim.Microsecond) {
+		t.Fatalf("link exchange too fast: %v", end)
+	}
+}
+
+func connectNodes(a, b *node.Node) error {
+	return linkConnect(a, b)
+}
+
+func TestTimeBuiltin(t *testing.T) {
+	_, out := run(t, `
+PROC main()
+  INT t0:
+  SEQ
+    SEQ i = 0 FOR 100
+      SKIP
+    TIME(t0)
+    PRINT(t0)
+`)
+	v := strings.TrimSpace(out)
+	if v == "0" {
+		t.Fatalf("TIME returned 0; simulated time should have advanced")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"PROC main(\n  SKIP\n",             // unclosed params
+		"PROC main()\nSKIP\n",              // missing indent
+		"PROC main()\n  x := \n",           // missing expression
+		"PROC main()\n   y := 1\n",         // 3-space indent
+		"PROC main()\n  INT x\n",           // missing colon
+		"PROC main()\n  SEQ\n      SKIP\n", // double indent jump
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("accepted invalid source %q", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		// Type mismatch.
+		"PROC main()\n  INT x:\n  x := 1.5\n",
+		// Mixed arithmetic.
+		"PROC main()\n  REAL64 a:\n  a := 1.5 + 1\n",
+		// Division by zero.
+		"PROC main()\n  INT x:\n  x := 1 / 0\n",
+		// Index out of range.
+		"PROC main()\n  [4]INT v:\n  v[9] := 1\n",
+		// Unknown PROC.
+		"PROC main()\n  nosuch(1)\n",
+		// STOP.
+		"PROC main()\n  STOP\n",
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse of %q failed: %v", src, err)
+		}
+		k := sim.NewKernel()
+		ip := New(k, prog, nil)
+		if _, err := ip.Start("main"); err != nil {
+			t.Fatal(err)
+		}
+		k.Run(0)
+		if ip.Err() == nil {
+			t.Fatalf("no runtime error for %q", src)
+		}
+	}
+}

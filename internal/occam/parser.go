@@ -1,0 +1,647 @@
+package occam
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles Occam source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Procs: map[string]*ProcDef{}}
+	for !p.at(tokEOF) {
+		if p.at(tokNewline) {
+			p.next()
+			continue
+		}
+		pd, err := p.procDef()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Procs[pd.Name]; dup {
+			return nil, fmt.Errorf("occam: line %d: duplicate PROC %s", pd.Line, pd.Name)
+		}
+		prog.Procs[pd.Name] = pd
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool {
+	return p.cur().kind == k
+}
+func (p *parser) atText(k tokKind, text string) bool {
+	return p.cur().kind == k && p.cur().text == text
+}
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.atText(k, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+func (p *parser) expect(k tokKind, text string) error {
+	if p.accept(k, text) {
+		return nil
+	}
+	return fmt.Errorf("occam: line %d: expected %q, got %q", p.cur().line, text, p.cur().text)
+}
+func (p *parser) expectKind(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, fmt.Errorf("occam: line %d: expected %s, got %q", p.cur().line, what, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+// procDef parses `PROC name(params)` NEWLINE INDENT body DEDENT [":"].
+func (p *parser) procDef() (*ProcDef, error) {
+	line := p.cur().line
+	if err := p.expect(tokKeyword, "PROC"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectKind(tokIdent, "procedure name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.atText(tokOp, ")") {
+		if len(params) > 0 {
+			if err := p.expect(tokOp, ","); err != nil {
+				return nil, err
+			}
+		}
+		val := p.accept(tokKeyword, "VAL")
+		var ty Type
+		switch {
+		case p.accept(tokKeyword, "INT"):
+			ty = TypeInt
+		case p.accept(tokKeyword, "REAL64"):
+			ty = TypeReal
+		case p.accept(tokKeyword, "BOOL"):
+			ty = TypeBool
+		case p.accept(tokKeyword, "CHAN"):
+			ty = TypeChan
+		default:
+			return nil, fmt.Errorf("occam: line %d: expected parameter type", p.cur().line)
+		}
+		id, err := p.expectKind(tokIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Name: id.text, Type: ty, Val: val})
+	}
+	p.next() // ')'
+	if err := p.expect(tokNewline, ""); err != nil {
+		return nil, fmt.Errorf("occam: line %d: expected newline after PROC header", line)
+	}
+	body, err := p.indentedBlock()
+	if err != nil {
+		return nil, err
+	}
+	// Optional terminating ':' line.
+	if p.atText(tokOp, ":") {
+		p.next()
+		p.accept(tokNewline, "")
+	}
+	return &ProcDef{Name: nameTok.text, Params: params, Body: body, Line: line}, nil
+}
+
+// indentedBlock parses INDENT { item } DEDENT into a Block.
+func (p *parser) indentedBlock() (Process, error) {
+	if !p.at(tokIndent) {
+		return nil, fmt.Errorf("occam: line %d: expected indented block", p.cur().line)
+	}
+	p.next()
+	var items []Process
+	for !p.at(tokDedent) && !p.at(tokEOF) {
+		if p.at(tokNewline) {
+			p.next()
+			continue
+		}
+		it, err := p.processLine()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+	if p.at(tokDedent) {
+		p.next()
+	}
+	return &Block{Items: items}, nil
+}
+
+// processLine parses one process (which may own an indented sub-block).
+func (p *parser) processLine() (Process, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "INT" || t.text == "REAL64" || t.text == "BOOL" || t.text == "CHAN"):
+		return p.declaration()
+	case p.atText(tokOp, "["):
+		return p.arrayDeclaration()
+	case t.kind == tokKeyword && (t.text == "SEQ" || t.text == "PAR"):
+		return p.seqPar()
+	case p.atText(tokKeyword, "IF"):
+		return p.ifProcess()
+	case p.atText(tokKeyword, "ALT"):
+		return p.altProcess()
+	case p.atText(tokKeyword, "WHILE"):
+		return p.whileProcess()
+	case p.atText(tokKeyword, "SKIP"):
+		p.next()
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		return &Skip{}, nil
+	case p.atText(tokKeyword, "STOP"):
+		line := p.next().line
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		return &Stop{Line: line}, nil
+	case t.kind == tokIdent:
+		return p.identLine()
+	}
+	return nil, fmt.Errorf("occam: line %d: unexpected %q", t.line, t.text)
+}
+
+// declaration: `INT a, b:` — scalars of one type.
+func (p *parser) declaration() (Process, error) {
+	line := p.cur().line
+	var ty Type
+	switch p.next().text {
+	case "INT":
+		ty = TypeInt
+	case "REAL64":
+		ty = TypeReal
+	case "BOOL":
+		ty = TypeBool
+	case "CHAN":
+		ty = TypeChan
+	}
+	var names []string
+	for {
+		id, err := p.expectKind(tokIdent, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, id.text)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if err := p.expect(tokOp, ":"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokNewline, ""); err != nil {
+		return nil, err
+	}
+	return &Decl{Names: names, Type: ty, Line: line}, nil
+}
+
+// arrayDeclaration: `[expr]INT v:` or `[expr]REAL64 v:`.
+func (p *parser) arrayDeclaration() (Process, error) {
+	line := p.cur().line
+	p.next() // '['
+	size, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokOp, "]"); err != nil {
+		return nil, err
+	}
+	var ty Type
+	switch {
+	case p.accept(tokKeyword, "INT"):
+		ty = TypeInt
+	case p.accept(tokKeyword, "REAL64"):
+		ty = TypeReal
+	default:
+		return nil, fmt.Errorf("occam: line %d: arrays must be INT or REAL64", line)
+	}
+	var names []string
+	for {
+		id, err := p.expectKind(tokIdent, "array name")
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, id.text)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if err := p.expect(tokOp, ":"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokNewline, ""); err != nil {
+		return nil, err
+	}
+	return &Decl{Names: names, Type: ty, Size: size, Line: line}, nil
+}
+
+// seqPar: `SEQ`/`PAR` with optional replicator, then an indented block.
+func (p *parser) seqPar() (Process, error) {
+	kw := p.next().text
+	var repl *Replicator
+	if p.at(tokIdent) {
+		v := p.next().text
+		if err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		start, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "FOR"); err != nil {
+			return nil, err
+		}
+		count, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		repl = &Replicator{Var: v, Start: start, Count: count}
+	}
+	if err := p.expect(tokNewline, ""); err != nil {
+		return nil, err
+	}
+	blk, err := p.indentedBlock()
+	if err != nil {
+		return nil, err
+	}
+	body := blk.(*Block).Items
+	if kw == "SEQ" {
+		return &Seq{Repl: repl, Body: body}, nil
+	}
+	return &Par{Repl: repl, Body: body}, nil
+}
+
+// ifProcess: IF with guarded branches, each `expr` then indented body.
+func (p *parser) ifProcess() (Process, error) {
+	line := p.next().line
+	if err := p.expect(tokNewline, ""); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIndent) {
+		return nil, fmt.Errorf("occam: line %d: IF needs guarded branches", line)
+	}
+	p.next()
+	var branches []GuardedProcess
+	for !p.at(tokDedent) && !p.at(tokEOF) {
+		if p.at(tokNewline) {
+			p.next()
+			continue
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		body, err := p.indentedBlock()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, GuardedProcess{Cond: cond, Body: body})
+	}
+	if p.at(tokDedent) {
+		p.next()
+	}
+	return &If{Branches: branches, Line: line}, nil
+}
+
+// altProcess: ALT with input guards.
+func (p *parser) altProcess() (Process, error) {
+	line := p.next().line
+	if err := p.expect(tokNewline, ""); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIndent) {
+		return nil, fmt.Errorf("occam: line %d: ALT needs input guards", line)
+	}
+	p.next()
+	var branches []AltBranch
+	for !p.at(tokDedent) && !p.at(tokEOF) {
+		if p.at(tokNewline) {
+			p.next()
+			continue
+		}
+		ch, err := p.expectKind(tokIdent, "channel name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokOp, "?"); err != nil {
+			return nil, err
+		}
+		dest, err := p.lvalue()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		body, err := p.indentedBlock()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, AltBranch{Chan: ch.text, Dest: dest, Body: body})
+	}
+	if p.at(tokDedent) {
+		p.next()
+	}
+	return &Alt{Branches: branches, Line: line}, nil
+}
+
+func (p *parser) whileProcess() (Process, error) {
+	p.next()
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokNewline, ""); err != nil {
+		return nil, err
+	}
+	body, err := p.indentedBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body}, nil
+}
+
+// identLine: assignment, send, receive, or call, all starting with an
+// identifier.
+func (p *parser) identLine() (Process, error) {
+	id := p.next()
+	switch {
+	case p.atText(tokOp, "("):
+		p.next()
+		var args []Expr
+		for !p.atText(tokOp, ")") {
+			if len(args) > 0 {
+				if err := p.expect(tokOp, ","); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		p.next()
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		return &Call{Name: id.text, Args: args, Line: id.line}, nil
+	case p.atText(tokOp, "!"):
+		p.next()
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		return &Send{Chan: id.text, Val: v, Line: id.line}, nil
+	case p.atText(tokOp, "?"):
+		p.next()
+		dest, err := p.lvalue()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		return &Recv{Chan: id.text, Dest: dest, Line: id.line}, nil
+	default:
+		// lvalue := expr, possibly with an index on the left.
+		var idx Expr
+		if p.accept(tokOp, "[") {
+			var err error
+			idx, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokOp, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokOp, ":="); err != nil {
+			return nil, err
+		}
+		src, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokNewline, ""); err != nil {
+			return nil, err
+		}
+		return &Assign{Dest: LValue{Name: id.text, Index: idx}, Src: src, Line: id.line}, nil
+	}
+}
+
+func (p *parser) lvalue() (LValue, error) {
+	id, err := p.expectKind(tokIdent, "variable")
+	if err != nil {
+		return LValue{}, err
+	}
+	var idx Expr
+	if p.accept(tokOp, "[") {
+		idx, err = p.expression()
+		if err != nil {
+			return LValue{}, err
+		}
+		if err := p.expect(tokOp, "]"); err != nil {
+			return LValue{}, err
+		}
+	}
+	return LValue{Name: id.text, Index: idx}, nil
+}
+
+// Expression precedence: OR < AND < comparison < additive < multiplicative < unary.
+
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.accept(tokOp, op) {
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "+", L: l, R: r}
+		case p.accept(tokOp, "-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "*"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "*", L: l, R: r}
+		case p.accept(tokOp, "/"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "/", L: l, R: r}
+		case p.accept(tokOp, "\\"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "\\", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch {
+	case p.accept(tokOp, "-"):
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "-", X: x}, nil
+	case p.accept(tokKeyword, "NOT"):
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "NOT", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("occam: line %d: bad integer %q", t.line, t.text)
+		}
+		return &IntLit{V: int32(v)}, nil
+	case t.kind == tokReal:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("occam: line %d: bad real %q", t.line, t.text)
+		}
+		return &RealLit{V: v}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return &BoolLit{V: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return &BoolLit{V: false}, nil
+	case t.kind == tokIdent:
+		p.next()
+		var idx Expr
+		if p.accept(tokOp, "[") {
+			var err error
+			idx, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokOp, "]"); err != nil {
+				return nil, err
+			}
+		}
+		return &VarRef{Name: t.text, Index: idx}, nil
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("occam: line %d: unexpected %q in expression", t.line, t.text)
+}

@@ -1,0 +1,12 @@
+package occam
+
+import (
+	"tseries/internal/link"
+	"tseries/internal/node"
+)
+
+// linkConnect wires sublink 0 of link 0 on two nodes, the smallest
+// possible inter-node topology for language-level tests.
+func linkConnect(a, b *node.Node) error {
+	return link.Connect(a.Sublink(0), b.Sublink(0))
+}

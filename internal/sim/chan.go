@@ -1,0 +1,167 @@
+package sim
+
+// Chan is a rendezvous channel between simulated processes, in the spirit
+// of an Occam channel: a send completes only when a receiver takes the
+// value (capacity zero), or immediately into free buffer space when a
+// capacity was given. Values are untyped; layers above wrap Chan with
+// typed helpers.
+type Chan struct {
+	k    *Kernel
+	name string
+	cap  int
+	buf  []interface{}
+
+	sendq []*chanWaiter
+	recvq []*chanWaiter
+}
+
+type chanWaiter struct {
+	p   *Proc
+	val interface{} // value being sent, or value received
+	ok  bool        // handshake completed
+	ch  *Chan       // channel that completed the handshake (for Select)
+}
+
+// NewChan creates a channel. capacity 0 gives rendezvous semantics.
+func NewChan(k *Kernel, name string, capacity int) *Chan {
+	return &Chan{k: k, name: name, cap: capacity}
+}
+
+// Name returns the channel's name.
+func (c *Chan) Name() string { return c.name }
+
+// Len reports the number of buffered values.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// dropDead removes killed processes from the front of a wait queue.
+func dropDead(q []*chanWaiter) []*chanWaiter {
+	for len(q) > 0 && q[0].p.dead {
+		q = q[1:]
+	}
+	return q
+}
+
+// Send delivers v on the channel, blocking p until a receiver (or buffer
+// space) accepts it.
+func (c *Chan) Send(p *Proc, v interface{}) {
+	c.recvq = dropDead(c.recvq)
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.val = v
+		w.ok = true
+		w.ch = c
+		w.p.unpark()
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	w := &chanWaiter{p: p, val: v}
+	c.sendq = append(c.sendq, w)
+	for !w.ok {
+		p.park("send " + c.name)
+	}
+}
+
+// Recv blocks p until a value is available and returns it.
+func (c *Chan) Recv(p *Proc) interface{} {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// A blocked sender can now use the freed slot.
+		c.sendq = dropDead(c.sendq)
+		if len(c.sendq) > 0 {
+			w := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, w.val)
+			w.ok = true
+			w.p.unpark()
+		}
+		return v
+	}
+	c.sendq = dropDead(c.sendq)
+	if len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		w.ok = true
+		w.p.unpark()
+		return w.val
+	}
+	w := &chanWaiter{p: p}
+	c.recvq = append(c.recvq, w)
+	for !w.ok {
+		p.park("recv " + c.name)
+	}
+	return w.val
+}
+
+// TryRecv returns a value if one is immediately available.
+func (c *Chan) TryRecv() (interface{}, bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		c.sendq = dropDead(c.sendq)
+		if len(c.sendq) > 0 {
+			w := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, w.val)
+			w.ok = true
+			w.p.unpark()
+		}
+		return v, true
+	}
+	c.sendq = dropDead(c.sendq)
+	if len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		w.ok = true
+		w.p.unpark()
+		return w.val, true
+	}
+	return nil, false
+}
+
+// Ready reports whether a Recv would complete without blocking.
+func (c *Chan) Ready() bool {
+	c.sendq = dropDead(c.sendq)
+	return len(c.buf) > 0 || len(c.sendq) > 0
+}
+
+// Select blocks p until one of the channels is ready to receive, then
+// receives from it. It returns the index of the chosen channel and the
+// value. Channels earlier in the list win ties, mirroring Occam's PRI ALT.
+func Select(p *Proc, chans ...*Chan) (int, interface{}) {
+	for {
+		for i, c := range chans {
+			if c.Ready() {
+				return i, c.Recv(p)
+			}
+		}
+		// Register as a receiver on every channel; first sender wins.
+		w := &chanWaiter{p: p}
+		for _, c := range chans {
+			c.recvq = append(c.recvq, w)
+		}
+		p.park("select")
+		// Remove w from all queues (it may have been consumed from one).
+		for _, c := range chans {
+			for j, x := range c.recvq {
+				if x == w {
+					c.recvq = append(c.recvq[:j], c.recvq[j+1:]...)
+					break
+				}
+			}
+		}
+		if w.ok {
+			for i, c := range chans {
+				if c == w.ch {
+					return i, w.val
+				}
+			}
+			return -1, w.val
+		}
+		// Spurious wakeup (e.g. killed race): loop and retry.
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (seq breaks ties), which keeps the simulation
+// deterministic.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler. Exactly one process
+// goroutine runs at any instant; the kernel regains control whenever a
+// process blocks, so process bodies may touch shared simulator state
+// without locks.
+//
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     int64
+	yielded chan struct{} // a running process signals here when it parks or exits
+	procs   int           // live (not yet finished) processes
+	running *Proc         // process currently executing, nil in kernel context
+	stopped bool
+	tracef  func(format string, args ...interface{})
+}
+
+// NewKernel returns an empty simulation at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yielded: make(chan struct{})}
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetTrace installs a debug trace sink (nil disables tracing).
+func (k *Kernel) SetTrace(f func(format string, args ...interface{})) { k.tracef = f }
+
+func (k *Kernel) trace(format string, args ...interface{}) {
+	if k.tracef != nil {
+		k.tracef(format, args...)
+	}
+}
+
+// At schedules fn to run in kernel context at absolute time t. fn must not
+// block; it may schedule further events and unblock processes. Scheduling
+// in the past is an error.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run in kernel context d from now.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.At(k.now.Add(d), fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains, the horizon passes, or Stop
+// is called. A zero horizon means no limit. It returns the time of the
+// last executed event (or the unchanged clock if nothing ran).
+//
+// Run panics if the queue drains while processes are still blocked: that
+// is a deadlock in the simulated system.
+func (k *Kernel) Run(horizon Duration) Time {
+	limit := Time(-1)
+	if horizon > 0 {
+		limit = k.now.Add(horizon)
+	}
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			if k.procs > 0 {
+				panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with no pending events", k.now, k.procs))
+			}
+			break
+		}
+		next := k.queue[0].at
+		if limit >= 0 && next > limit {
+			k.now = limit
+			break
+		}
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// Idle reports whether no events are pending and no processes are live.
+func (k *Kernel) Idle() bool { return len(k.queue) == 0 && k.procs == 0 }
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// killed is the panic value used to unwind a killed process.
+type killed struct{ name string }
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically by the kernel. All blocking methods (Wait, channel and
+// resource operations) must be called from the process's own goroutine.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	daemon  bool // excluded from deadlock accounting
+	dead    bool // killed; next park unwinds
+	done    bool
+	waiting string // what the process is blocked on, for deadlock reports
+	onExit  []func()
+}
+
+// Go spawns a process that begins executing fn at the current time.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a service process (router, device handler) that is
+// allowed to remain blocked when the rest of the simulation drains: it
+// does not count toward deadlock detection.
+func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, true)
+}
+
+func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), daemon: daemon}
+	if !daemon {
+		k.procs++
+	}
+	go func() {
+		<-p.resume // wait for the kernel to hand us the start slot
+		defer func() {
+			r := recover()
+			p.done = true
+			if !p.daemon {
+				k.procs--
+			}
+			for i := len(p.onExit) - 1; i >= 0; i-- {
+				p.onExit[i]()
+			}
+			k.running = nil
+			if r != nil {
+				if _, ok := r.(killed); ok {
+					k.trace("proc %s killed at %v", p.name, k.now)
+					k.yielded <- struct{}{}
+					return
+				}
+				// A real bug in a process body: re-deliver on the
+				// kernel goroutine so tests see it.
+				k.After(0, func() { panic(r) })
+			}
+			k.yielded <- struct{}{}
+		}()
+		k.trace("proc %s start at %v", p.name, k.now)
+		fn(p)
+	}()
+	k.At(k.now, func() { p.run() })
+	return p
+}
+
+// run transfers control from the kernel to the process until it parks or
+// exits. Called only in kernel context.
+func (p *Proc) run() {
+	if p.done {
+		return
+	}
+	p.k.running = p
+	p.resume <- struct{}{}
+	<-p.k.yielded
+	p.k.running = nil
+}
+
+// park suspends the process until something calls unpark. It must only be
+// called from the process goroutine while it holds the execution slot.
+func (p *Proc) park(what string) {
+	p.waiting = what
+	p.k.running = nil
+	p.k.yielded <- struct{}{}
+	<-p.resume
+	p.waiting = ""
+	p.k.running = p
+	if p.dead {
+		panic(killed{p.name})
+	}
+}
+
+// unpark schedules the process to resume at the current time. Kernel
+// context only.
+func (p *Proc) unpark() {
+	p.k.At(p.k.now, func() { p.run() })
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// OnExit registers fn to run (in the process goroutine, LIFO) when the
+// process finishes or is killed.
+func (p *Proc) OnExit(fn func()) { p.onExit = append(p.onExit, fn) }
+
+// Wait blocks the process for d of simulated time.
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		panic("sim: negative wait")
+	}
+	if d == 0 {
+		return
+	}
+	p.k.At(p.k.now.Add(d), func() { p.run() })
+	p.park("wait")
+}
+
+// Yield cedes the execution slot until all other events at the current
+// instant have run.
+func (p *Proc) Yield() {
+	p.k.At(p.k.now, func() { p.run() })
+	p.park("yield")
+}
+
+// Kill terminates the process the next time it would block (or
+// immediately, if it is currently blocked). Killing a finished process is
+// a no-op. Kill may be called from kernel context or from another process.
+func (p *Proc) Kill() {
+	if p.done || p.dead {
+		return
+	}
+	p.dead = true
+	if p.waiting != "" {
+		// Blocked somewhere: wake it so the park unwinds. The waiter
+		// stays registered in whatever queue it was in; queues must
+		// tolerate dead entries (they check p.dead).
+		p.unpark()
+	}
+}
+
+// Join blocks the calling process until q finishes.
+func (p *Proc) Join(q *Proc) {
+	if q.done {
+		return
+	}
+	q.OnExit(func() {
+		// Runs on q's goroutine as it exits; hand the slot back.
+		p.unpark()
+	})
+	p.park("join " + q.name)
+}

@@ -1,0 +1,96 @@
+package sim
+
+// Resource is a counted resource with FIFO queuing, used to model shared
+// hardware such as a memory port, a bus, or a DMA engine. Acquire blocks
+// the calling process until a unit is free; Release returns a unit and
+// wakes the head of the queue.
+type Resource struct {
+	k     *Kernel
+	name  string
+	total int
+	inUse int
+	queue []*resWaiter
+
+	// Accounting for utilisation reports.
+	busy      Duration // integrated units-in-use over time
+	lastStamp Time
+}
+
+type resWaiter struct {
+	p  *Proc
+	ok bool
+}
+
+// NewResource creates a resource with the given number of units.
+func NewResource(k *Kernel, name string, units int) *Resource {
+	if units <= 0 {
+		panic("sim: resource needs at least one unit")
+	}
+	return &Resource{k: k, name: name, total: units}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+func (r *Resource) stamp() {
+	now := r.k.Now()
+	r.busy += Duration(int64(now.Sub(r.lastStamp)) * int64(r.inUse))
+	r.lastStamp = now
+}
+
+// Acquire takes one unit, blocking p until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.total {
+		r.stamp()
+		r.inUse++
+		return
+	}
+	w := &resWaiter{p: p}
+	r.queue = append(r.queue, w)
+	for !w.ok {
+		p.park("acquire " + r.name)
+	}
+}
+
+// Release returns one unit and hands it to the longest-waiting live
+// process, if any.
+func (r *Resource) Release() {
+	r.stamp()
+	r.inUse--
+	if r.inUse < 0 {
+		panic("sim: release of unheld resource " + r.name)
+	}
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		if w.p.dead {
+			continue
+		}
+		w.ok = true
+		r.inUse++
+		w.p.unpark()
+		return
+	}
+}
+
+// Use acquires the resource, holds it for d, and releases it: the common
+// pattern for a timed hardware transaction.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release()
+}
+
+// Utilization reports the time-integrated fraction of units in use since
+// the start of the simulation (0..1).
+func (r *Resource) Utilization() float64 {
+	r.stamp()
+	elapsed := Duration(r.k.Now())
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(r.busy) / (float64(elapsed) * float64(r.total))
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recorder captures kernel trace events (process starts, kills) and any
+// component annotations into a bounded in-memory log for debugging and
+// post-mortem inspection of simulations.
+type Recorder struct {
+	k     *Kernel
+	limit int
+	ring  []TraceEvent
+	next  int
+	total int64
+}
+
+// TraceEvent is one recorded line.
+type TraceEvent struct {
+	At   Time
+	Text string
+}
+
+// NewRecorder attaches a bounded recorder to the kernel's trace hook.
+// limit bounds retained events (older ones are overwritten ring-style).
+func NewRecorder(k *Kernel, limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1024
+	}
+	r := &Recorder{k: k, limit: limit, ring: make([]TraceEvent, 0, limit)}
+	k.SetTrace(func(format string, args ...interface{}) {
+		r.Record(fmt.Sprintf(format, args...))
+	})
+	return r
+}
+
+// Record appends one annotation at the current simulated time.
+func (r *Recorder) Record(text string) {
+	ev := TraceEvent{At: r.k.Now(), Text: text}
+	if len(r.ring) < r.limit {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.next] = ev
+		r.next = (r.next + 1) % r.limit
+	}
+	r.total++
+}
+
+// Recordf formats and records.
+func (r *Recorder) Recordf(format string, args ...interface{}) {
+	r.Record(fmt.Sprintf(format, args...))
+}
+
+// Total reports how many events were recorded (including overwritten).
+func (r *Recorder) Total() int64 { return r.total }
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []TraceEvent {
+	if len(r.ring) < r.limit {
+		return append([]TraceEvent(nil), r.ring...)
+	}
+	out := make([]TraceEvent, 0, r.limit)
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// String renders the retained log, one event per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		fmt.Fprintf(&b, "%-14v %s\n", ev.At, ev.Text)
+	}
+	return b.String()
+}

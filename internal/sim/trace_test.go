@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCapturesProcLifecycle(t *testing.T) {
+	k := NewKernel()
+	rec := NewRecorder(k, 100)
+	k.Go("worker", func(p *Proc) {
+		p.Wait(50 * Nanosecond)
+		rec.Recordf("worker checkpoint at %v", p.Now())
+	})
+	k.Run(0)
+	log := rec.String()
+	if !strings.Contains(log, "proc worker start") {
+		t.Fatalf("missing start event:\n%s", log)
+	}
+	if !strings.Contains(log, "worker checkpoint at 50ns") {
+		t.Fatalf("missing annotation:\n%s", log)
+	}
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	k := NewKernel()
+	rec := NewRecorder(k, 5)
+	for i := 0; i < 12; i++ {
+		rec.Recordf("event %d", i)
+	}
+	if rec.Total() != 12 {
+		t.Fatalf("total = %d", rec.Total())
+	}
+	evs := rec.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	if evs[0].Text != "event 7" || evs[4].Text != "event 11" {
+		t.Fatalf("ring contents wrong: %v", evs)
+	}
+}
+
+func TestRecorderKillEvent(t *testing.T) {
+	k := NewKernel()
+	rec := NewRecorder(k, 100)
+	c := NewChan(k, "c", 0)
+	victim := k.Go("victim", func(p *Proc) { c.Recv(p) })
+	k.Go("killer", func(p *Proc) {
+		p.Wait(Nanosecond)
+		victim.Kill()
+	})
+	k.Run(0)
+	if !strings.Contains(rec.String(), "proc victim killed") {
+		t.Fatalf("kill not traced:\n%s", rec.String())
+	}
+}

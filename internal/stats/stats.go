@@ -1,0 +1,100 @@
+// Package stats provides the small reporting toolkit used by the
+// experiment harness: aligned tables and rate conversions from simulated
+// quantities.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"tseries/internal/sim"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; cells format with %v except float64, which uses
+// a compact %.4g.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// MBps converts a byte count over a simulated duration to MB/s.
+func MBps(bytes int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
+
+// MFLOPS converts an operation count over a simulated duration.
+func MFLOPS(flops int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(flops) / d.Seconds() / 1e6
+}
+
+// Speedup is t1/tp.
+func Speedup(t1, tp sim.Duration) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return float64(t1) / float64(tp)
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"tseries/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("alpha", 1)
+	tb.Add("beta-longer", 2.5)
+	tb.Add("gamma", "x")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same prefix width before
+	// the second column.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:] {
+		if len(ln) < idx {
+			t.Fatalf("row too short: %q", ln)
+		}
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatal("float formatting lost")
+	}
+}
+
+func TestRates(t *testing.T) {
+	if got := MBps(1e6, sim.Second); got != 1 {
+		t.Fatalf("MBps = %g", got)
+	}
+	if got := MFLOPS(16, 1000*sim.Nanosecond); got != 16 {
+		t.Fatalf("MFLOPS = %g", got)
+	}
+	if MBps(100, 0) != 0 || MFLOPS(100, 0) != 0 {
+		t.Fatal("zero duration should not divide")
+	}
+	if got := Speedup(4*sim.Second, 2*sim.Second); got != 2 {
+		t.Fatalf("Speedup = %g", got)
+	}
+	if Speedup(sim.Second, 0) != 0 {
+		t.Fatal("zero denominator")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("", "a")
+	out := tb.String()
+	if strings.Contains(out, "==") {
+		t.Fatal("untitled table should not print a title bar")
+	}
+}

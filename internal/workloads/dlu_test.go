@@ -1,0 +1,249 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func checkLU(t *testing.T, n int, a, l, u [][]float64, perm []int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var lu float64
+			for kk := 0; kk < n; kk++ {
+				lu += l[i][kk] * u[kk][j]
+			}
+			pa := a[perm[i]][j]
+			if math.Abs(lu-pa) > 1e-8*math.Max(1, math.Abs(pa)) {
+				t.Fatalf("PA≠LU at (%d,%d): %g vs %g", i, j, pa, lu)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if l[i][i] != 1 {
+			t.Fatalf("L[%d][%d] = %g", i, i, l[i][i])
+		}
+		for j := i + 1; j < n; j++ {
+			if l[i][j] != 0 {
+				t.Fatalf("L not lower at (%d,%d)", i, j)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if u[i][j] != 0 {
+				t.Fatalf("U not upper at (%d,%d): %g", i, j, u[i][j])
+			}
+		}
+	}
+}
+
+func TestDistributedLUCorrect(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ dim, n int }{
+		{0, 16}, {1, 16}, {2, 24}, {3, 32},
+	} {
+		a := randMatrix(r, tc.n)
+		res, err := DistributedLU(tc.dim, tc.n, a)
+		if err != nil {
+			t.Fatalf("dim %d: %v", tc.dim, err)
+		}
+		checkLU(t, tc.n, a, res.L, res.U, res.Perm)
+	}
+}
+
+func TestDistributedLUMatchesSingleNode(t *testing.T) {
+	// The distributed factorisation must pick the same pivots and
+	// produce the same factors as the single-node version (both use
+	// largest-|magnitude| with deterministic ties).
+	r := rand.New(rand.NewSource(17))
+	n := 24
+	a := randMatrix(r, n)
+	single, err := LU(n, a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := DistributedLU(2, n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if single.Perm[i] != multi.Perm[i] {
+			t.Fatalf("pivot sequences diverge at %d: %v vs %v", i, single.Perm, multi.Perm)
+		}
+		for j := 0; j < n; j++ {
+			if single.U[i][j] != multi.U[i][j] {
+				t.Fatalf("U differs at (%d,%d): %g vs %g", i, j, single.U[i][j], multi.U[i][j])
+			}
+		}
+	}
+}
+
+func TestDistributedLUSingular(t *testing.T) {
+	n := 8
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	if _, err := DistributedLU(1, n, a); err == nil {
+		t.Fatal("singular matrix factored")
+	}
+}
+
+func TestDistributedLUPivotsAcrossNodes(t *testing.T) {
+	// A matrix engineered so pivots repeatedly live on remote nodes,
+	// exercising the cross-node row exchange.
+	n := 16
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = 1 / (1 + float64(i+j))
+		}
+	}
+	// Dominant entries on the anti-diagonal.
+	for i := range a {
+		a[n-1-i][i] = float64(10 + i)
+	}
+	res, err := DistributedLU(2, n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps < n/2 {
+		t.Fatalf("only %d swaps; the anti-diagonal should force many", res.Swaps)
+	}
+	checkLU(t, n, a, res.L, res.U, res.Perm)
+}
+
+func TestSortRecordsRowMoves(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	n := 64
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = r.NormFloat64() * 100
+	}
+	fast, err := SortRecords(n, keys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SortRecords(n, keys, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted, identically.
+	for i := 1; i < n; i++ {
+		if fast.Keys[i-1] > fast.Keys[i] {
+			t.Fatalf("not sorted at %d: %v", i, fast.Keys[i-1:i+1])
+		}
+		if fast.Keys[i] != slow.Keys[i] {
+			t.Fatalf("strategies disagree at %d", i)
+		}
+	}
+	if fast.Moves == 0 || fast.Moves != slow.Moves {
+		t.Fatalf("move counts: %d vs %d", fast.Moves, slow.Moves)
+	}
+	// Row moves: 4 × 400 ns per exchange. Word moves: 128 elements ×
+	// 3.2 µs per exchange → 256× more port time.
+	ratio := float64(slow.MoveTime) / float64(fast.MoveTime)
+	if ratio < 100 {
+		t.Fatalf("row-move advantage only %.0f×", ratio)
+	}
+	// Whole records stay intact (checked inside SortRecords) and the
+	// keys match a host sort.
+	host := append([]float64(nil), keys...)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			if host[j] < host[i] {
+				host[i], host[j] = host[j], host[i]
+			}
+		}
+	}
+	for i := range host {
+		if fast.Keys[i] != host[i] {
+			t.Fatalf("key order differs from host sort at %d", i)
+		}
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	if _, err := SortRecords(0, nil, true); err == nil {
+		t.Fatal("zero records accepted")
+	}
+	if _, err := SortRecords(3, []float64{1, 2}, true); err == nil {
+		t.Fatal("key count mismatch accepted")
+	}
+	if _, err := SortRecords(600, make([]float64, 600), true); err == nil {
+		t.Fatal("too many records accepted")
+	}
+}
+
+func TestSolveLinpackStyle(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	n := 40
+	a := randMatrix(r, n)
+	for i := range a {
+		a[i][i] += float64(n) // well conditioned
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	res, err := Solve(n, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-9 {
+		t.Fatalf("residual = %g", res.Residual)
+	}
+	if res.MFLOPS() <= 0 || res.MFLOPS() > 16 {
+		t.Fatalf("solve rate = %g MFLOPS", res.MFLOPS())
+	}
+	if res.FactorT <= 0 || res.SolveT <= 0 {
+		t.Fatalf("phase times: %v %v", res.FactorT, res.SolveT)
+	}
+	// Compare against a host Gaussian solve.
+	want := hostSolve(n, a, b)
+	for i := range want {
+		if d := res.X[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func hostSolve(n int, a [][]float64, b []float64) []float64 {
+	// Plain Gaussian elimination with partial pivoting on copies.
+	m := make([][]float64, n)
+	x := append([]float64(nil), b...)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		for i := k + 1; i < n; i++ {
+			if abs64(m[i][k]) > abs64(m[p][k]) {
+				p = i
+			}
+		}
+		m[k], m[p] = m[p], m[k]
+		x[k], x[p] = x[p], x[k]
+		for i := k + 1; i < n; i++ {
+			f := m[i][k] / m[k][k]
+			for j := k; j < n; j++ {
+				m[i][j] -= f * m[k][j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= m[i][j] * x[j]
+		}
+		x[i] /= m[i][i]
+	}
+	return x
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(3, randMatrix(rand.New(rand.NewSource(1)), 3), []float64{1}); err == nil {
+		t.Fatal("bad RHS length accepted")
+	}
+}

@@ -1,0 +1,378 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestDistributedSAXPYScales(t *testing.T) {
+	// Aggregate throughput grows ~linearly with node count: the E9/E10
+	// homogeneity story.
+	var rates []float64
+	for _, dim := range []int{0, 1, 2, 3} {
+		res, err := DistributedSAXPY(dim, 50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = append(rates, res.MFLOPS())
+	}
+	for i := 1; i < len(rates); i++ {
+		ratio := rates[i] / rates[i-1]
+		if ratio < 1.9 || ratio > 2.1 {
+			t.Fatalf("scaling break at dim %d: rates %v", i, rates)
+		}
+	}
+	// A full module (dim 3) sustains close to 8×13.9 ≈ 111 MFLOPS
+	// (peak 128 minus per-row fill and row-transfer overhead).
+	if rates[3] < 100 || rates[3] > 128 {
+		t.Fatalf("module rate = %.1f MFLOPS", rates[3])
+	}
+}
+
+func TestBusSAXPYSaturates(t *testing.T) {
+	bus := BusSAXPY{}
+	r1 := bus.Run(1, 50, 1)
+	r4 := bus.Run(4, 50, 1)
+	r16 := bus.Run(16, 50, 1)
+	r64 := bus.Run(64, 50, 1)
+	// Near-linear to 4 processors…
+	if sp := r4.MFLOPS() / r1.MFLOPS(); sp < 3.5 {
+		t.Fatalf("bus machine should scale to 4 procs, got speedup %.2f", sp)
+	}
+	// …then saturates: 64 procs no better than ~2× the 16-proc rate.
+	if sp := r64.MFLOPS() / r16.MFLOPS(); sp > 1.5 {
+		t.Fatalf("bus machine kept scaling: 64p/16p = %.2f", sp)
+	}
+	// And the hypercube at 64 nodes crushes the bus at 64 procs.
+	cube, err := DistributedSAXPY(6, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.MFLOPS() < 5*r64.MFLOPS() {
+		t.Fatalf("hypercube %.0f vs bus %.0f MFLOPS: expected decisive win", cube.MFLOPS(), r64.MFLOPS())
+	}
+}
+
+func randMatrix(r *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = r.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestDistributedMatMulCorrect(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := 32
+	a := randMatrix(r, n)
+	b := randMatrix(r, n)
+	res, err := DistributedMatMul(2, n, a, b) // 4 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HostMatMul(n, a, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(res.C[i][j]-want[i][j]) > 1e-9*math.Max(1, math.Abs(want[i][j])) {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, res.C[i][j], want[i][j])
+			}
+		}
+	}
+	if res.Flops != int64(2*n*n*n) {
+		t.Fatalf("flops = %d, want %d", res.Flops, 2*n*n*n)
+	}
+}
+
+func TestMatMulBalanceRule(t *testing.T) {
+	// §II: "roughly 130 operations should result from every 64-bit word
+	// that must be moved between nodes over a link." Row-broadcast
+	// matmul does 2N/P flops per transferred word, so small problems on
+	// many nodes are communication-bound (slower than one node), while
+	// N=128 on two nodes (2N/P = 128 ≈ the balance point) is close to
+	// break-even. Both regimes must reproduce.
+	r := rand.New(rand.NewSource(7))
+
+	// Deep in the comm-bound regime: 2N/P = 16 « 130 → distributing
+	// must LOSE.
+	n := 32
+	a, b := randMatrix(r, n), randMatrix(r, n)
+	r1, err := DistributedMatMul(0, n, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := DistributedMatMul(2, n, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Elapsed < r1.Elapsed {
+		t.Fatalf("N=32 on 4 nodes should be comm-bound, got %v vs %v on one node", r4.Elapsed, r1.Elapsed)
+	}
+
+	// Near the balance point: 2N/P = 128 ≈ 130 → two nodes cost at most
+	// ~1.5× one node (per the paper's rule, roughly break-even).
+	n = 128
+	a, b = randMatrix(r, n), randMatrix(r, n)
+	b1, err := DistributedMatMul(0, n, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := DistributedMatMul(1, n, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b2.Elapsed) / float64(b1.Elapsed)
+	if ratio > 1.6 {
+		t.Fatalf("N=128/P=2 should sit near break-even, got ratio %.2f", ratio)
+	}
+	// And the answer is still right.
+	want := HostMatMul(n, a, b)
+	for i := 0; i < n; i += 17 {
+		for j := 0; j < n; j += 13 {
+			if math.Abs(b2.C[i][j]-want[i][j]) > 1e-8*math.Max(1, math.Abs(want[i][j])) {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, b2.C[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	a := randMatrix(rand.New(rand.NewSource(1)), 6)
+	if _, err := DistributedMatMul(2, 6, a, a); err == nil {
+		t.Fatal("N not divisible by nodes accepted")
+	}
+	if _, err := DistributedMatMul(0, 500, a, a); err == nil {
+		t.Fatal("oversized N accepted")
+	}
+}
+
+func TestLUCorrect(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	n := 24
+	a := randMatrix(r, n)
+	res, err := LU(n, a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check P·A = L·U.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var lu float64
+			for kk := 0; kk < n; kk++ {
+				lu += res.L[i][kk] * res.U[kk][j]
+			}
+			pa := a[res.Perm[i]][j]
+			if math.Abs(lu-pa) > 1e-8*math.Max(1, math.Abs(pa)) {
+				t.Fatalf("PA≠LU at (%d,%d): %g vs %g", i, j, pa, lu)
+			}
+		}
+	}
+	// U is upper triangular, L unit lower.
+	for i := 0; i < n; i++ {
+		if res.L[i][i] != 1 {
+			t.Fatalf("L[%d][%d] = %g", i, i, res.L[i][i])
+		}
+		for j := i + 1; j < n; j++ {
+			if res.L[i][j] != 0 {
+				t.Fatalf("L not lower at (%d,%d)", i, j)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if res.U[i][j] != 0 {
+				t.Fatalf("U not upper at (%d,%d): %g", i, j, res.U[i][j])
+			}
+		}
+	}
+}
+
+func TestLURowMoveBeatsWordMove(t *testing.T) {
+	// E12: physical row exchange via the row port vs element moves via
+	// the word port. Same matrix (forced to pivot on every step by a
+	// reversed-dominance pattern), same factors, very different pivot
+	// cost.
+	n := 64
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = 1.0 / (1 + float64(i+j)) // Hilbert-like
+		}
+		a[i][i] += 0.5
+	}
+	for i := range a {
+		a[n-1-i][i] += float64(i + 2) // off-diagonal dominance forces swaps
+	}
+	fast, err := LU(n, a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := LU(n, a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Swaps == 0 || fast.Swaps != slow.Swaps {
+		t.Fatalf("swap counts differ or zero: %d vs %d", fast.Swaps, slow.Swaps)
+	}
+	// Same numerical result either way.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if fast.U[i][j] != slow.U[i][j] {
+				t.Fatalf("pivot strategy changed the answer at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Fast path: 2 rows × 4 transfers × 400ns = 3.2µs/swap.
+	// Slow path: 2 rows × 64 elements × 1.6µs×2 ≈ 410µs/swap.
+	ratio := float64(slow.PivotTime) / float64(fast.PivotTime)
+	if ratio < 20 {
+		t.Fatalf("row-move advantage only %.1f× (fast %v, slow %v)", ratio, fast.PivotTime, slow.PivotTime)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	n := 4
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n) // all zeros
+	}
+	if _, err := LU(n, a, true); err == nil {
+		t.Fatal("singular matrix factored")
+	}
+}
+
+func TestFFTCorrect(t *testing.T) {
+	for _, tc := range []struct{ dim, n int }{
+		{0, 16}, {1, 16}, {2, 32}, {3, 64},
+	} {
+		r := rand.New(rand.NewSource(int64(tc.n)))
+		in := make([]complex128, tc.n)
+		for i := range in {
+			in[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		res, err := DistributedFFT(tc.dim, in)
+		if err != nil {
+			t.Fatalf("dim %d: %v", tc.dim, err)
+		}
+		want := HostDFT(in)
+		for i := range want {
+			if cmplx.Abs(res.Out[i]-want[i]) > 1e-8*math.Max(1, cmplx.Abs(want[i])) {
+				t.Fatalf("dim %d: X[%d] = %v, want %v", tc.dim, i, res.Out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTButterflyUsesNearestNeighbors(t *testing.T) {
+	// The distributed stages exchange with nodes one cube hop away, so
+	// total time scales with log(P), not P.
+	n := 64
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(float64(i), 0)
+	}
+	r2, err := DistributedFFT(1, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := DistributedFFT(3, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 nodes run 3 exchange stages of N/8 points vs 1 stage of N/2 on 2
+	// nodes; wall time must not blow up.
+	if r8.Elapsed > 2*r2.Elapsed {
+		t.Fatalf("8-node FFT slower than 2-node: %v vs %v", r8.Elapsed, r2.Elapsed)
+	}
+}
+
+func TestFFTValidation(t *testing.T) {
+	if _, err := DistributedFFT(0, make([]complex128, 12)); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := DistributedFFT(3, make([]complex128, 4)); err == nil {
+		t.Fatal("fewer points than nodes accepted")
+	}
+}
+
+func TestStencilCorrect(t *testing.T) {
+	grid := 16
+	init := make([][]float64, grid)
+	for i := range init {
+		init[i] = make([]float64, grid)
+		init[i][0] = 100 // hot west wall
+	}
+	res, err := DistributedStencil(1, 1, grid, init, 20) // 2×2 mesh
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HostStencil(grid, init, 20)
+	for i := 0; i < grid; i++ {
+		for j := 0; j < grid; j++ {
+			if math.Abs(res.Field[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("field[%d][%d] = %g, want %g", i, j, res.Field[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestStencilMeshShapes(t *testing.T) {
+	grid := 16
+	init := make([][]float64, grid)
+	for i := range init {
+		init[i] = make([]float64, grid)
+		init[0][i] = 50
+	}
+	want := HostStencil(grid, init, 10)
+	for _, shape := range [][2]int{{0, 0}, {2, 0}, {1, 2}, {2, 2}} {
+		res, err := DistributedStencil(shape[0], shape[1], grid, init, 10)
+		if err != nil {
+			t.Fatalf("mesh %v: %v", shape, err)
+		}
+		for i := 0; i < grid; i++ {
+			for j := 0; j < grid; j++ {
+				if math.Abs(res.Field[i][j]-want[i][j]) > 1e-12 {
+					t.Fatalf("mesh %v: field[%d][%d] = %g, want %g", shape, i, j, res.Field[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	// Identical runs produce bit-identical simulated times and results.
+	r1, err := DistributedSAXPY(2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DistributedSAXPY(2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed != r2.Elapsed || r1.Flops != r2.Flops {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", r1.Elapsed, r1.Flops, r2.Elapsed, r2.Flops)
+	}
+	in := make([]complex128, 64)
+	for i := range in {
+		in[i] = complex(float64(i%7), float64(i%5))
+	}
+	f1, err := DistributedFFT(2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := DistributedFFT(2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Elapsed != f2.Elapsed {
+		t.Fatalf("FFT timing nondeterministic: %v vs %v", f1.Elapsed, f2.Elapsed)
+	}
+	for i := range f1.Out {
+		if f1.Out[i] != f2.Out[i] {
+			t.Fatalf("FFT values nondeterministic at %d", i)
+		}
+	}
+}

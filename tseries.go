@@ -1,0 +1,56 @@
+// Package tseries is a deterministic simulator of the FPS T Series, the
+// homogeneous vector supercomputer of Gustafson, Hawkinson and Scott
+// (ICPP 1986): binary n-cube message passing between nodes that combine
+// a transputer-style control processor, 1 MB of dual-ported memory, a
+// pipelined 16 MFLOPS vector arithmetic unit, and four multiplexed
+// serial links; eight nodes plus a system board and disk form a module,
+// modules pair into cabinets, cabinets cable into cubes of up to
+// dimension 14.
+//
+// This package is the public facade. Construct a System, write programs
+// either as Go functions running as simulated processes or in the
+// bundled Occam subset, and read results and timings off the simulated
+// clock. The experiment harness (Experiments, RunExperiment) regenerates
+// every quantitative claim and figure of the paper; `go test -bench .`
+// and cmd/tbench drive it.
+package tseries
+
+import (
+	"tseries/internal/core"
+	"tseries/internal/machine"
+)
+
+// System is a complete, runnable T Series configuration.
+type System = core.System
+
+// Spec is a derived configuration table row.
+type Spec = machine.Spec
+
+// Result is one experiment's reproduction output.
+type Result = core.Result
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment = core.Experiment
+
+// New builds a 2^dim-node machine with its hypercube network, modules,
+// system ring and disks. Simulable dimensions are 0..8; use SpecFor for
+// the paper's larger configurations, whose properties derive from module
+// homogeneity without instantiation.
+func New(dim int) (*System, error) { return core.NewSystem(dim) }
+
+// SpecFor derives the specification of any configuration up to the
+// 14-cube wiring maximum.
+func SpecFor(dim int) (Spec, error) { return machine.SpecFor(dim) }
+
+// Experiments lists the full reproduction suite (E1..E16 plus the
+// ablations) in paper order.
+func Experiments() []Experiment { return core.All() }
+
+// RunExperiment runs one experiment by ID ("E1".."E16", "A1".."A4").
+func RunExperiment(id string) (*Result, error) {
+	e, err := core.Find(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

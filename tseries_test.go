@@ -1,0 +1,72 @@
+package tseries
+
+import (
+	"testing"
+
+	"tseries/internal/comm"
+	"tseries/internal/fparith"
+	"tseries/internal/sim"
+)
+
+func TestPublicFacade(t *testing.T) {
+	s, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 4 {
+		t.Fatalf("nodes = %d", s.Nodes())
+	}
+	sum := make([]float64, 4)
+	s.SPMD(func(p *sim.Proc, e *comm.Endpoint) {
+		out, err := e.AllReduceF64(p, 7, comm.AddF64, []fparith.F64{fparith.FromInt64(2)})
+		if err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		sum[e.ID()] = out[0].Float64()
+	})
+	for _, v := range sum {
+		if v != 8 {
+			t.Fatalf("sum = %v", sum)
+		}
+	}
+}
+
+func TestSpecForPublic(t *testing.T) {
+	s, err := SpecFor(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 4096 {
+		t.Fatalf("12-cube nodes = %d", s.Nodes)
+	}
+	if _, err := SpecFor(20); err == nil {
+		t.Fatal("20-cube accepted")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "A1", "A2", "A3", "A4", "A5", "A6"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing from the registry", want)
+		}
+	}
+	if _, err := RunExperiment("E0"); err == nil {
+		t.Fatal("unknown experiment ran")
+	}
+}
+
+func TestQuickstartExperiment(t *testing.T) {
+	r, err := RunExperiment("E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table == nil {
+		t.Fatal("no table")
+	}
+}
