@@ -77,6 +77,9 @@ func BenchmarkE15_FFT(b *testing.B) { benchExperiment(b, "E15") }
 // BenchmarkE16_OverlapCrossover — gather hidden beyond ~13 forms.
 func BenchmarkE16_OverlapCrossover(b *testing.B) { benchExperiment(b, "E16") }
 
+// BenchmarkE17_FaultRecovery — goodput vs BER, recovery vs checkpoint interval.
+func BenchmarkE17_FaultRecovery(b *testing.B) { benchExperiment(b, "E17") }
+
 // BenchmarkAblation_SingleBank — DESIGN.md §5 ablation.
 func BenchmarkAblation_SingleBank(b *testing.B) { benchExperiment(b, "A1") }
 

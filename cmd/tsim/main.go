@@ -10,6 +10,7 @@
 //	tsim -workload fft    -dim 4 -n 1024
 //	tsim -workload stencil -dim 2 -n 32 -iters 50
 //	tsim -workload lu     -n 64
+//	tsim -workload recovery -dim 2 -phases 6 -faults seed=7,ber=1e-6,crash=2@12s -ckpt 8s
 package main
 
 import (
@@ -17,17 +18,24 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
+	"tseries/internal/fault"
+	"tseries/internal/sim"
 	"tseries/internal/workloads"
 )
 
 func main() {
-	workload := flag.String("workload", "saxpy", "saxpy | matmul | fft | stencil | lu | dlu | sort | solve")
+	workload := flag.String("workload", "saxpy", "saxpy | matmul | fft | stencil | lu | dlu | sort | solve | recovery")
 	dim := flag.Int("dim", 3, "cube dimension (2^dim nodes)")
 	n := flag.Int("n", 64, "problem size (matrix order, FFT points, grid side)")
 	rows := flag.Int("rows", 100, "SAXPY rows per node")
 	iters := flag.Int("iters", 20, "stencil iterations")
 	seed := flag.Int64("seed", 1, "input generator seed")
+	phases := flag.Int("phases", 6, "recovery workload phases")
+	faults := flag.String("faults", "", "fault plan, e.g. seed=7,ber=1e-6,crash=2@12s,down=0.1@5s+2s,flip=1:4096.3@9s,disk=0.5@14s")
+	ckpt := flag.Duration("ckpt", 0, "periodic checkpoint interval for -workload recovery (0 = initial checkpoint only)")
+	pad := flag.Duration("pad", 2*time.Second, "per-phase synthetic compute time for -workload recovery")
 	flag.Parse()
 
 	r := rand.New(rand.NewSource(*seed))
@@ -101,6 +109,25 @@ func main() {
 		fail(err)
 		fmt.Printf("LU %d×%d (1 node): %v simulated, %d row pivots costing %v\n",
 			res.N, res.N, res.Elapsed, res.Swaps, res.PivotTime)
+	case "recovery":
+		var plan *fault.Plan
+		if *faults != "" {
+			var err error
+			plan, err = fault.Parse(*faults)
+			fail(err)
+		}
+		res, err := workloads.FaultTolerantSAXPY(*dim, *phases, *rows/25+1,
+			sim.Duration(pad.Nanoseconds())*sim.Nanosecond,
+			sim.Duration(ckpt.Nanoseconds())*sim.Nanosecond, plan)
+		fail(err)
+		fmt.Printf("Recovery SAXPY: %d nodes × %d phases: %v simulated, bit-correct=%v, goodput %.4g MB/s\n",
+			res.Nodes, res.Phases, res.Elapsed, res.Correct, res.GoodputMBps())
+		fmt.Printf("checkpoints=%d rollbacks=%d last-recovery=%v\n",
+			res.Checkpoints, res.Rollbacks, res.Recovery)
+		fmt.Print(res.Faults.Table().String())
+		if !res.Correct {
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)

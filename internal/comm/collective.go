@@ -24,7 +24,32 @@ func (e *Endpoint) Barrier(p *sim.Proc, tag int) error {
 // with op and returns the result on every node, by recursive doubling:
 // in round d each node exchanges its partial with its dimension-d
 // neighbor. op nil with empty input degenerates to a barrier.
+//
+// With crashed nodes present the recursive-doubling pattern cannot work
+// (every node needs every neighbor), so the survivors fall back to a
+// reduce onto the lowest alive node followed by a broadcast, both over
+// the crash-adopted binomial tree. The fallback consumes tags up to
+// tag+Size+2·Dim+1.
 func (e *Endpoint) AllReduceF64(p *sim.Proc, tag int, op func(a, b fparith.F64) fparith.F64, vals []fparith.F64) ([]fparith.F64, error) {
+	if e.net.anyCrashed() {
+		root := e.net.lowestAlive()
+		if root < 0 {
+			return nil, fmt.Errorf("comm: allreduce with no nodes alive")
+		}
+		acc, err := e.ReduceF64(p, root, tag, op, vals)
+		if err != nil {
+			return nil, err
+		}
+		var pay []byte
+		if e.id == root {
+			pay = packF64(acc)
+		}
+		got, err := e.Broadcast(p, root, tag+e.net.Size()+e.net.Dim+1, pay)
+		if err != nil {
+			return nil, err
+		}
+		return unpackF64(got), nil
+	}
 	acc := append([]fparith.F64(nil), vals...)
 	for d := 0; d < e.net.Dim; d++ {
 		peer := cube.Neighbor(e.id, d)
@@ -108,16 +133,34 @@ func (e *Endpoint) AllReduceBestF64(p *sim.Proc, tag int, better func(a, b []fpa
 // Broadcast distributes root's payload to every node along the binomial
 // spanning tree (at most Dim link hops). Every node passes its own
 // payload argument; only root's is used.
+//
+// If nodes have crashed, the survivors re-root around them: each alive
+// node's effective parent is its nearest alive tree ancestor, and the
+// orphaned subtrees of a dead interior node are adopted by that
+// ancestor. A dead root is a partial failure the collective reports as
+// an error rather than deadlocking on.
 func (e *Endpoint) Broadcast(p *sim.Proc, root, tag int, payload []byte) ([]byte, error) {
+	degraded := e.net.anyCrashed()
+	if degraded && !e.net.alive(root) {
+		return nil, &CrashedError{Node: root}
+	}
 	data := payload
 	if e.id != root {
+		want := treeParent(e.id, root)
+		if degraded {
+			want = e.aliveParent(root)
+		}
 		src, got := e.Recv(p, tag)
-		if want := treeParent(e.id, root); src != want {
+		if src != want {
 			return nil, fmt.Errorf("comm: broadcast on node %d: from %d, want parent %d", e.id, src, want)
 		}
 		data = got
 	}
-	for _, child := range cube.Children(e.id, root, e.net.Dim) {
+	children := cube.Children(e.id, root, e.net.Dim)
+	if degraded {
+		children = e.aliveChildren(e.id, root)
+	}
+	for _, child := range children {
 		if err := e.Send(p, child, tag, data); err != nil {
 			return nil, err
 		}
@@ -127,7 +170,15 @@ func (e *Endpoint) Broadcast(p *sim.Proc, root, tag int, payload []byte) ([]byte
 
 // ReduceF64 combines vectors from all nodes onto root along the binomial
 // tree (children send up; interior nodes fold). Non-root nodes return nil.
+//
+// With crashed nodes the survivors fold over the adopted tree (see
+// Broadcast); crashed nodes' contributions are simply missing, which
+// the caller must account for. Degraded mode tags each child by its
+// node id (tag+Dim+child), so the namespace widens to tag+Dim+Size.
 func (e *Endpoint) ReduceF64(p *sim.Proc, root, tag int, op func(a, b fparith.F64) fparith.F64, vals []fparith.F64) ([]fparith.F64, error) {
+	if e.net.anyCrashed() {
+		return e.reduceDegraded(p, root, tag, op, vals)
+	}
 	acc := append([]fparith.F64(nil), vals...)
 	children := cube.Children(e.id, root, e.net.Dim)
 	// Receive from children in deterministic (deepest-first) order: each
@@ -149,6 +200,60 @@ func (e *Endpoint) ReduceF64(p *sim.Proc, root, tag int, op func(a, b fparith.F6
 		return nil, err
 	}
 	return nil, nil
+}
+
+func (e *Endpoint) reduceDegraded(p *sim.Proc, root, tag int, op func(a, b fparith.F64) fparith.F64, vals []fparith.F64) ([]fparith.F64, error) {
+	if !e.net.alive(root) {
+		return nil, &CrashedError{Node: root}
+	}
+	acc := append([]fparith.F64(nil), vals...)
+	for _, child := range e.aliveChildren(e.id, root) {
+		src, theirs := e.RecvF64(p, tag+e.net.Dim+child)
+		if src != child {
+			return nil, fmt.Errorf("comm: reduce on node %d: from %d, want child %d", e.id, src, child)
+		}
+		if len(theirs) != len(acc) {
+			return nil, fmt.Errorf("comm: reduce length mismatch on node %d", e.id)
+		}
+		for i := range acc {
+			acc[i] = op(acc[i], theirs[i])
+		}
+	}
+	if e.id == root {
+		return acc, nil
+	}
+	parent := e.aliveParent(root)
+	if err := e.SendF64(p, parent, tag+e.net.Dim+e.id, acc); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// aliveParent walks the binomial-tree ancestor chain to the nearest
+// in-service node. The caller must have verified the root is alive, so
+// the walk terminates.
+func (e *Endpoint) aliveParent(root int) int {
+	par := e.id
+	for {
+		par = treeParent(par, root)
+		if par == root || e.net.alive(par) {
+			return par
+		}
+	}
+}
+
+// aliveChildren lists the in-service tree children of id, with the
+// subtrees of dead children adopted in place (deterministic order).
+func (e *Endpoint) aliveChildren(id, root int) []int {
+	var out []int
+	for _, c := range cube.Children(id, root, e.net.Dim) {
+		if e.net.alive(c) {
+			out = append(out, c)
+		} else {
+			out = append(out, e.aliveChildren(c, root)...)
+		}
+	}
+	return out
 }
 
 // treeParent is the binomial-tree parent of id for the given root: clear

@@ -8,6 +8,7 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"tseries/internal/cube"
@@ -19,6 +20,10 @@ import (
 
 // header is the wire prefix of every message.
 const headerBytes = 16
+
+// tagMask limits tags to 24 bits: the top byte of the tag word carries
+// the hop counter that bounds detour routing.
+const tagMask = 0xffffff
 
 // Network is a set of nodes wired as a binary n-cube with a router
 // process per node per dimension.
@@ -39,6 +44,24 @@ type Endpoint struct {
 	// Counters.
 	Sent, Received, Forwarded int64
 	BytesSent                 int64
+
+	// Fault-aware routing counters.
+	Detours    int64 // forwards over a non-e-cube (detour) dimension
+	RouteDrops int64 // messages abandoned: hop budget spent or no usable channel
+}
+
+// CrashedError reports an operation addressed to a node that is out of
+// service.
+type CrashedError struct{ Node int }
+
+func (e *CrashedError) Error() string {
+	return fmt.Sprintf("comm: node %d has crashed", e.Node)
+}
+
+// IsCrashed reports whether err is (or wraps) a CrashedError.
+func IsCrashed(err error) bool {
+	var ce *CrashedError
+	return errors.As(err, &ce)
 }
 
 // delivered is what lands in a mailbox.
@@ -95,20 +118,71 @@ func BuildCube(k *sim.Kernel, nodes []*node.Node) (*Network, error) {
 		}
 	}
 	// Routers: one daemon per (node, dimension), listening on that
-	// dimension's sublink.
+	// dimension's sublink. Each router knows its own dimension so the
+	// forwarder can avoid bouncing a message straight back.
 	for id := range nodes {
 		ep := n.eps[id]
 		for d := 0; d < dim; d++ {
+			arriveDim := d
 			sl := nodes[id].Sublink(CubeSublink(d))
 			k.GoDaemon(fmt.Sprintf("router/n%d/d%d", id, d), func(p *sim.Proc) {
 				for {
 					raw := sl.Recv(p)
-					ep.route(p, raw)
+					ep.route(p, raw, arriveDim)
 				}
 			})
 		}
 	}
 	return n, nil
+}
+
+// alive reports whether node id is in service.
+func (n *Network) alive(id int) bool { return n.Nodes[id].Alive() }
+
+// anyCrashed reports whether any node is out of service. While false —
+// the overwhelmingly common case — every code path is identical to the
+// fault-free simulator.
+func (n *Network) anyCrashed() bool {
+	for _, nd := range n.Nodes {
+		if !nd.Alive() {
+			return true
+		}
+	}
+	return false
+}
+
+// lowestAlive returns the smallest id of an in-service node, or -1.
+func (n *Network) lowestAlive() int {
+	for id, nd := range n.Nodes {
+		if nd.Alive() {
+			return id
+		}
+	}
+	return -1
+}
+
+// Flush discards all in-flight traffic: every sublink inbox and every
+// endpoint mailbox. The recovery supervisor calls it after halting the
+// machine so the replay starts from silence. It reports how many
+// messages were dropped.
+func (n *Network) Flush() int {
+	total := 0
+	for _, nd := range n.Nodes {
+		for i := 0; i < link.SublinksPerNode; i++ {
+			total += nd.Sublink(i).Flush()
+		}
+	}
+	for _, ep := range n.eps {
+		for _, mb := range ep.mailboxes {
+			for {
+				if _, ok := mb.TryRecv(); !ok {
+					break
+				}
+				total++
+			}
+		}
+	}
+	return total
 }
 
 // Endpoint returns node id's network interface.
@@ -127,11 +201,12 @@ func (e *Endpoint) mailbox(tag int) *sim.Chan {
 }
 
 // encode builds the wire form: src, dst, tag, len (uint32 LE) + payload.
+// The top byte of the tag word (offset 11) is the hop counter.
 func encode(src, dst, tag int, payload []byte) []byte {
 	buf := make([]byte, headerBytes+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(src))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(dst))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(tag))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(tag)&tagMask)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
 	copy(buf[headerBytes:], payload)
 	return buf
@@ -140,50 +215,100 @@ func encode(src, dst, tag int, payload []byte) []byte {
 func decode(raw []byte) (src, dst, tag int, payload []byte) {
 	src = int(binary.LittleEndian.Uint32(raw[0:]))
 	dst = int(binary.LittleEndian.Uint32(raw[4:]))
-	tag = int(binary.LittleEndian.Uint32(raw[8:]))
+	tag = int(binary.LittleEndian.Uint32(raw[8:]) & tagMask)
 	n := int(binary.LittleEndian.Uint32(raw[12:]))
 	return src, dst, tag, raw[headerBytes : headerBytes+n]
 }
 
-// hopSublink picks the e-cube next hop for a destination: the lowest
-// dimension in which this node's id differs from dst.
-func (e *Endpoint) hopSublink(dst int) (*link.Sublink, error) {
-	diff := e.id ^ dst
-	if diff == 0 {
-		return nil, fmt.Errorf("comm: node %d routing to itself", e.id)
-	}
-	for d := 0; d < e.net.Dim; d++ {
-		if diff&(1<<uint(d)) != 0 {
-			return e.nd.Sublink(CubeSublink(d)), nil
-		}
-	}
-	return nil, fmt.Errorf("comm: destination %d outside %d-cube", dst, e.net.Dim)
-}
+func msgHops(raw []byte) int { return int(raw[11]) }
+func bumpHops(raw []byte)    { raw[11]++ }
+
+// maxHops bounds store-and-forward per message. E-cube needs at most
+// Dim hops; detours around failed channels earn a generous multiple,
+// after which the message is dropped rather than routed forever.
+func (e *Endpoint) maxHops() int { return 3*e.net.Dim + 4 }
 
 // route handles a message arriving at this node: deliver locally or
-// forward along the e-cube path (store-and-forward).
-func (e *Endpoint) route(p *sim.Proc, raw []byte) {
-	_, dst, tag, _ := decode(raw)
+// forward toward dst (store-and-forward). arriveDim is the dimension
+// the message came in on, or -1 when it was injected locally.
+func (e *Endpoint) route(p *sim.Proc, raw []byte, arriveDim int) {
+	src, dst, tag, payload := decode(raw)
 	if dst == e.id {
-		src, _, _, payload := decode(raw)
 		e.Received++
 		e.mailbox(tag).Send(p, delivered{src: src, payload: payload})
 		return
 	}
-	sl, err := e.hopSublink(dst)
-	if err != nil {
-		panic(err) // corrupt routing state is a simulator bug
+	if msgHops(raw) >= e.maxHops() {
+		e.RouteDrops++
+		return
 	}
 	e.Forwarded++
-	if err := sl.Send(p, raw); err != nil {
-		panic(err)
+	if e.forward(p, raw, dst, arriveDim) != nil {
+		// A router daemon has nobody to report to; the drop shows up in
+		// the counters and, eventually, as a timeout at the application.
+		e.RouteDrops++
 	}
+}
+
+// forward picks the outbound channel for a message to dst and sends it,
+// falling back across the candidate order when channels are dead. The
+// fault-free path is pure e-cube: the first candidate is the lowest
+// differing dimension and its channel is up, so exactly one Send runs.
+func (e *Endpoint) forward(p *sim.Proc, raw []byte, dst, arriveDim int) error {
+	diff := e.id ^ dst
+	bumpHops(raw)
+	var lastErr error
+	for _, d := range e.candidates(dst, arriveDim) {
+		err := e.nd.Sublink(CubeSublink(d)).Send(p, raw)
+		if err == nil {
+			if diff&(1<<uint(d)) == 0 {
+				e.Detours++
+			}
+			return nil
+		}
+		if !link.IsDown(err) {
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("comm: node %d has no usable channel toward %d", e.id, dst)
+	}
+	return lastErr
+}
+
+// candidates lists outbound dimensions to try, in deterministic
+// preference order: e-cube dimensions (lowest differing first) that are
+// up, excluding the arrival dimension; then the arrival dimension if it
+// is a differing one (progress back the way we came still shortens the
+// route); and last, up non-differing dimensions — true detours. The
+// arrival dimension is never used as a detour: that would bounce the
+// message straight back.
+func (e *Endpoint) candidates(dst, arriveDim int) []int {
+	diff := e.id ^ dst
+	cand := make([]int, 0, e.net.Dim)
+	for d := 0; d < e.net.Dim; d++ {
+		if diff&(1<<uint(d)) != 0 && d != arriveDim && e.nd.Sublink(CubeSublink(d)).Up() {
+			cand = append(cand, d)
+		}
+	}
+	if arriveDim >= 0 && diff&(1<<uint(arriveDim)) != 0 && e.nd.Sublink(CubeSublink(arriveDim)).Up() {
+		cand = append(cand, arriveDim)
+	}
+	for d := 0; d < e.net.Dim; d++ {
+		if diff&(1<<uint(d)) == 0 && d != arriveDim && e.nd.Sublink(CubeSublink(d)).Up() {
+			cand = append(cand, d)
+		}
+	}
+	return cand
 }
 
 // Send delivers payload to node dst under tag. The caller blocks for the
 // first-hop wire time; intermediate hops forward concurrently
 // (store-and-forward, so an h-hop message costs about h times the wire
-// time plus h DMA startups).
+// time plus h DMA startups). Sending to a crashed node fails fast with
+// a CrashedError; a send abandoned en route surfaces as a DownError or
+// is dropped at an intermediate router (visible in RouteDrops).
 func (e *Endpoint) Send(p *sim.Proc, dst, tag int, payload []byte) error {
 	if dst == e.id {
 		// Local delivery costs nothing on the wire.
@@ -191,13 +316,15 @@ func (e *Endpoint) Send(p *sim.Proc, dst, tag int, payload []byte) error {
 		e.mailbox(tag).Send(p, delivered{src: e.id, payload: append([]byte(nil), payload...)})
 		return nil
 	}
-	sl, err := e.hopSublink(dst)
-	if err != nil {
-		return err
+	if dst < 0 || dst >= e.net.Size() {
+		return fmt.Errorf("comm: destination %d outside %d-cube", dst, e.net.Dim)
+	}
+	if !e.net.alive(dst) {
+		return &CrashedError{Node: dst}
 	}
 	e.Sent++
 	e.BytesSent += int64(len(payload))
-	return sl.Send(p, encode(e.id, dst, tag, payload))
+	return e.forward(p, encode(e.id, dst, tag, payload), dst, -1)
 }
 
 // Recv blocks until a message with the given tag arrives.

@@ -1,0 +1,164 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+
+	"tseries/internal/fparith"
+	"tseries/internal/sim"
+)
+
+func TestDetourAroundDownedLink(t *testing.T) {
+	// Cut the dimension-0 edge between nodes 0 and 1 of a 2-cube. The
+	// e-cube route 0→1 is exactly that edge, so the message must detour
+	// 0→2→3→1 and still arrive intact.
+	k, net := buildNet(t, 2)
+	net.Nodes[0].Sublink(CubeSublink(0)).SetDown(true)
+	payload := []byte("around the block")
+	var got []byte
+	var src int
+	k.Go("tx", func(p *sim.Proc) {
+		if err := net.Endpoint(0).Send(p, 1, 5, payload); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	k.Go("rx", func(p *sim.Proc) { src, got = net.Endpoint(1).Recv(p, 5) })
+	k.Run(0)
+	if src != 0 || !bytes.Equal(got, payload) {
+		t.Fatalf("src=%d got=%q", src, got)
+	}
+	if net.Endpoint(0).Detours != 1 {
+		t.Fatalf("origin detours = %d, want 1", net.Endpoint(0).Detours)
+	}
+	var drops int64
+	for id := 0; id < net.Size(); id++ {
+		drops += net.Endpoint(id).RouteDrops
+	}
+	if drops != 0 {
+		t.Fatalf("detour route dropped %d messages", drops)
+	}
+}
+
+func TestRouteRestoredAfterLinkUp(t *testing.T) {
+	k, net := buildNet(t, 2)
+	sl := net.Nodes[0].Sublink(CubeSublink(0))
+	sl.SetDown(true)
+	sl.SetDown(false)
+	var got []byte
+	k.Go("tx", func(p *sim.Proc) {
+		if err := net.Endpoint(0).Send(p, 1, 5, []byte{1}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	k.Go("rx", func(p *sim.Proc) { _, got = net.Endpoint(1).Recv(p, 5) })
+	k.Run(0)
+	if len(got) != 1 {
+		t.Fatal("no delivery after link restore")
+	}
+	if net.Endpoint(0).Detours != 0 {
+		t.Fatal("restored link still detouring")
+	}
+}
+
+func TestSendToCrashedNodeFailsFast(t *testing.T) {
+	k, net := buildNet(t, 2)
+	net.Nodes[3].Crash()
+	var err error
+	k.Go("tx", func(p *sim.Proc) { err = net.Endpoint(0).Send(p, 3, 5, []byte{1}) })
+	k.Run(0)
+	if !IsCrashed(err) {
+		t.Fatalf("got %v, want CrashedError", err)
+	}
+}
+
+func TestDegradedCollectivesAmongSurvivors(t *testing.T) {
+	// Crash node 2 of a 2-cube; the survivors' broadcast, reduce, and
+	// all-reduce must re-root around the hole and still agree.
+	k, net := buildNet(t, 2)
+	net.Nodes[2].Crash()
+	alive := []int{0, 1, 3}
+
+	bcast := make(map[int][]byte)
+	sums := make(map[int]float64)
+	reduced := make(map[int][]fparith.F64)
+	for _, id := range alive {
+		e := net.Endpoint(id)
+		k.Go(e.nd.Name+"/main", func(p *sim.Proc) {
+			got, err := e.Broadcast(p, 0, 11, []byte("fanout"))
+			if err != nil {
+				t.Errorf("node %d broadcast: %v", e.id, err)
+				return
+			}
+			bcast[e.id] = got
+			out, err := e.AllReduceF64(p, 21, AddF64, []fparith.F64{fparith.FromInt64(int64(e.id))})
+			if err != nil {
+				t.Errorf("node %d allreduce: %v", e.id, err)
+				return
+			}
+			sums[e.id] = out[0].Float64()
+			r, err := e.ReduceF64(p, 0, 31, AddF64, []fparith.F64{fparith.FromInt64(int64(e.id + 1))})
+			if err != nil {
+				t.Errorf("node %d reduce: %v", e.id, err)
+				return
+			}
+			reduced[e.id] = r
+		})
+	}
+	k.Run(0)
+	for _, id := range alive {
+		if !bytes.Equal(bcast[id], []byte("fanout")) {
+			t.Fatalf("node %d broadcast got %q", id, bcast[id])
+		}
+		if sums[id] != 4 { // 0 + 1 + 3
+			t.Fatalf("node %d allreduce sum = %g, want 4", id, sums[id])
+		}
+	}
+	if len(reduced[0]) != 1 || reduced[0][0].Float64() != 7 { // 1 + 2 + 4
+		t.Fatalf("root reduce = %v", reduced[0])
+	}
+}
+
+func TestBroadcastFromCrashedRoot(t *testing.T) {
+	k, net := buildNet(t, 2)
+	net.Nodes[2].Crash()
+	errs := make(map[int]error)
+	for _, id := range []int{0, 1, 3} {
+		e := net.Endpoint(id)
+		k.Go(e.nd.Name+"/main", func(p *sim.Proc) {
+			_, errs[e.id] = e.Broadcast(p, 2, 41, []byte("nope"))
+		})
+	}
+	k.Run(0)
+	for id, err := range errs {
+		if !IsCrashed(err) {
+			t.Fatalf("node %d: got %v, want CrashedError", id, err)
+		}
+	}
+}
+
+func TestCrashRepairRestoresFastPath(t *testing.T) {
+	k, net := buildNet(t, 2)
+	net.Nodes[1].Crash()
+	if !net.anyCrashed() {
+		t.Fatal("crash not visible")
+	}
+	net.Nodes[1].Repair()
+	if net.anyCrashed() {
+		t.Fatal("repair not visible")
+	}
+	// Full-machine all-reduce works again, fast path.
+	sums := make([]float64, net.Size())
+	spmd(k, net, func(p *sim.Proc, e *Endpoint) {
+		out, err := e.AllReduceF64(p, 51, AddF64, []fparith.F64{fparith.FromInt64(int64(e.id))})
+		if err != nil {
+			t.Errorf("node %d: %v", e.id, err)
+			return
+		}
+		sums[e.id] = out[0].Float64()
+	})
+	for id, v := range sums {
+		if v != 6 {
+			t.Fatalf("node %d sum = %g, want 6", id, v)
+		}
+	}
+}

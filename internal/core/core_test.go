@@ -265,6 +265,28 @@ func TestE16(t *testing.T) {
 	}
 }
 
+func TestE17(t *testing.T) {
+	r := runExp(t, "E17")
+	if r.Metrics["determinism"] != 1 {
+		t.Fatal("identical fault seeds did not reproduce identical traces")
+	}
+	if r.Metrics["e2e_correct_ber1e5"] != 1 {
+		t.Fatal("supervised run under BER 1e-5 not bit-correct")
+	}
+	if r.Metrics["link_retransmits_ber1e4"] == 0 {
+		t.Fatal("BER 1e-4 produced no retransmits")
+	}
+	if r.Metrics["link_goodput_ber1e4_MBps"] >= r.Metrics["link_goodput_clean_MBps"] {
+		t.Fatal("goodput did not degrade under heavy bit errors")
+	}
+	if r.Metrics["rollbacks_iv4"] == 0 {
+		t.Fatal("mid-run crash did not trigger a rollback")
+	}
+	if r.Metrics["recovery_s_iv4"] <= 0 {
+		t.Fatal("recovery time not recorded")
+	}
+}
+
 func TestAblations(t *testing.T) {
 	a1 := runExp(t, "A1")
 	if v := a1.Metrics["slowdown"]; v < 1.8 || v > 2.3 {

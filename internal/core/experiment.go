@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"E14", "Distributed memory vs shared bus (§I motivation)", E14SharedBus},
 		{"E15", "FFT on the butterfly mapping (Figure 3)", E15FFT},
 		{"E16", "Gather overlap crossover at ~13 ops/word (§II)", E16OverlapCrossover},
+		{"E17", "Fault injection & recovery: retransmit, detour, rollback (§III)", E17FaultRecovery},
 		{"A1", "Ablation: single-bank memory", A1SingleBank},
 		{"A2", "Ablation: sublink multiplexing divides link bandwidth", A2SublinkMux},
 		{"A3", "Ablation: snapshot interval trade-off (~10 min compromise)", A3SnapshotInterval},

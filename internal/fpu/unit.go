@@ -130,6 +130,19 @@ func (u *Unit) Run(p *sim.Proc, op Op) (Result, error) {
 	for _, r := range ports {
 		r.Acquire(p)
 	}
+	// Release the bank ports even if this process is killed mid-stream
+	// (recovery rollback), so survivors don't deadlock on a leaked port.
+	released := false
+	releasePorts := func() {
+		if released {
+			return
+		}
+		released = true
+		for _, r := range ports {
+			r.Release()
+		}
+	}
+	defer releasePorts()
 
 	// Phase 2: stream N elements; one result per cycle with two banks
 	// feeding, one result per two cycles when both streams share a bank.
@@ -147,9 +160,7 @@ func (u *Unit) Run(p *sim.Proc, op Op) (Result, error) {
 		streamCycles += (d - 1) * d
 	}
 	p.Wait(loadTime + sim.Duration(streamCycles)*sim.Cycle)
-	for _, r := range ports {
-		r.Release()
-	}
+	releasePorts()
 
 	// Phase 3: compute the element values functionally and store the
 	// result row (results shifted out of the unit into a bank).

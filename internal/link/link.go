@@ -13,7 +13,9 @@
 package link
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"tseries/internal/sim"
 )
@@ -42,6 +44,62 @@ const ByteTime = BitsPerByte * BitTime
 // DMAStartup is the fixed cost of arming a link DMA transfer.
 const DMAStartup = 5 * sim.Microsecond
 
+// Reliability constants. The wire protocol already carries two
+// acknowledge bits per byte; on top of that each DMA frame carries a
+// checksum, and the receiver's final acknowledge doubles as an
+// ack/nack for the whole frame. A sender that sees a nack (checksum
+// failure) or no acknowledge at all (dead wire or dead peer) retries
+// with exponential backoff, and gives up with a DownError once
+// MaxSendAttempts transmissions have failed.
+const (
+	// MaxSendAttempts bounds retransmission of one frame.
+	MaxSendAttempts = 8
+	// AckTimeout is how long a sender waits for the first acknowledge
+	// bits before declaring an attempt lost — a small multiple of the
+	// byte time, since acknowledges are interleaved per byte.
+	AckTimeout = 64 * ByteTime
+	// MaxBackoff caps the exponential retransmit backoff.
+	MaxBackoff = 8 * sim.Millisecond
+)
+
+// RetryBackoff is the wait before retransmit attempt n+1 (n ≥ 1).
+func RetryBackoff(attempt int) sim.Duration {
+	d := AckTimeout << uint(attempt-1)
+	if d > MaxBackoff {
+		d = MaxBackoff
+	}
+	return d
+}
+
+// Checksum is the per-frame integrity check the receiver applies
+// before acknowledging a DMA transfer.
+func Checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// Injector lets a fault plan damage frames in flight. Corrupt is
+// called once per transmission attempt with the payload; it returns
+// nil when the frame crosses clean, or a damaged copy.
+type Injector interface {
+	Corrupt(sublink string, data []byte) []byte
+}
+
+// DownError reports that a transfer was abandoned after exhausting its
+// retransmit budget: the wire is cut or the peer has stopped
+// acknowledging.
+type DownError struct {
+	Sublink  string
+	Attempts int
+}
+
+func (e *DownError) Error() string {
+	return fmt.Sprintf("link: %s down (no acknowledge after %d attempts)", e.Sublink, e.Attempts)
+}
+
+// IsDown reports whether err is (or wraps) a DownError.
+func IsDown(err error) bool {
+	var de *DownError
+	return errors.As(err, &de)
+}
+
 // EffectiveBandwidth reports the steady-state unidirectional payload
 // bandwidth of one link in bytes per second.
 func EffectiveBandwidth() float64 {
@@ -50,8 +108,9 @@ func EffectiveBandwidth() float64 {
 
 // Message is one DMA transfer's payload.
 type Message struct {
-	Data []byte
-	From string // sending sublink, for tracing
+	Data     []byte
+	From     string // sending sublink, for tracing
+	Checksum uint32 // frame checksum as transmitted
 }
 
 // Link is one node's driver for a single physical serial link. Its
@@ -59,13 +118,33 @@ type Message struct {
 // multiplexed onto it divide the available bandwidth. (The inbound
 // direction is owned by the remote ends' outbound wires.)
 type Link struct {
-	Name string
-	k    *sim.Kernel
-	wire *sim.Resource
-	subs [SublinksPerLink]*Sublink
+	Name     string
+	k        *sim.Kernel
+	wire     *sim.Resource
+	subs     [SublinksPerLink]*Sublink
+	injector Injector
 
 	BytesSent int64
 	Transfers int64
+
+	// Fault accounting.
+	Corrupted   int64 // frames damaged on the wire
+	Undetected  int64 // damaged frames the checksum failed to catch
+	Retransmits int64 // extra transmissions after a nack or timeout
+	Timeouts    int64 // attempts lost to a dead wire or dead peer
+	Drops       int64 // sends abandoned with a DownError
+}
+
+// SetInjector attaches a fault injector to every transfer on this
+// link's outbound wire (nil detaches).
+func (l *Link) SetInjector(inj Injector) { l.injector = inj }
+
+// SetDown severs (true) or restores (false) all four sublinks at once —
+// what a node crash or a physical cable fault does.
+func (l *Link) SetDown(down bool) {
+	for _, sub := range l.subs {
+		sub.down = down
+	}
 }
 
 // Sublink is one of the four multiplexed logical channels of a physical
@@ -75,6 +154,7 @@ type Sublink struct {
 	index  int
 	peer   *Sublink
 	inbox  *sim.Chan
+	down   bool // outage: this end no longer drives or acknowledges
 }
 
 // NewLink creates a physical link and its four sublinks.
@@ -97,8 +177,12 @@ func (l *Link) Sublink(i int) *Sublink { return l.subs[i] }
 func (l *Link) Wire() *sim.Resource { return l.wire }
 
 // Connect cross-wires two sublinks into a bidirectional channel. Both
-// must be unconnected.
+// must be unconnected and distinct — a sublink cannot be wired to
+// itself.
 func Connect(a, b *Sublink) error {
+	if a == b {
+		return fmt.Errorf("link: cannot connect %s to itself", a.Name())
+	}
 	if a.peer != nil || b.peer != nil {
 		return fmt.Errorf("link: sublink already connected (%s ↔ %s)", a.Name(), b.Name())
 	}
@@ -117,9 +201,32 @@ func (s *Sublink) Connected() bool { return s.peer != nil }
 // Peer returns the remote sublink, or nil.
 func (s *Sublink) Peer() *Sublink { return s.peer }
 
+// SetDown severs (true) or restores (false) this end of the channel.
+// While either end is down the wire carries no acknowledges, so every
+// send attempt on the pair times out.
+func (s *Sublink) SetDown(down bool) { s.down = down }
+
+// Down reports whether this end has been severed.
+func (s *Sublink) Down() bool { return s.down }
+
+// Up reports whether the channel is usable end to end: connected and
+// neither side severed.
+func (s *Sublink) Up() bool {
+	return s.peer != nil && !s.down && !s.peer.down
+}
+
 // Send transfers data to the peer sublink, blocking the caller for the
 // DMA startup plus the serial wire time. Sublinks sharing a physical
 // link queue for the wire, dividing its bandwidth.
+//
+// Delivery is reliable against wire corruption: each frame carries a
+// checksum, a corrupted frame is nacked by the receiver and
+// retransmitted at once (the nack proves the peer is alive), and a
+// frame that draws no acknowledge at all (severed wire, crashed peer)
+// is retried with exponential backoff until MaxSendAttempts silent
+// attempts, after which Send returns a DownError. With no fault
+// injector attached and both ends up, the timing and behaviour are
+// identical to a bare transfer.
 func (s *Sublink) Send(p *sim.Proc, data []byte) error {
 	if s.peer == nil {
 		return fmt.Errorf("link: %s is not connected", s.Name())
@@ -127,15 +234,75 @@ func (s *Sublink) Send(p *sim.Proc, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("link: empty transfer on %s", s.Name())
 	}
-	s.parent.wire.Acquire(p)
-	p.Wait(DMAStartup + sim.Duration(len(data))*ByteTime)
-	s.parent.wire.Release()
-	s.parent.BytesSent += int64(len(data))
-	s.parent.Transfers++
+	l := s.parent
+	timeouts := 0
+	for {
+		delivered, acked, err := s.attempt(p, data)
+		if delivered {
+			return err
+		}
+		l.Retransmits++
+		if acked {
+			// Nack: the receiver rejected a damaged frame but is
+			// plainly alive, so retransmit immediately and do not
+			// charge the outage budget.
+			continue
+		}
+		timeouts++
+		if timeouts >= MaxSendAttempts {
+			l.Drops++
+			return &DownError{Sublink: s.Name(), Attempts: timeouts}
+		}
+		p.Wait(RetryBackoff(timeouts))
+	}
+}
+
+// attempt performs one transmission. delivered means the frame reached
+// the peer (or the send must not be retried); acked distinguishes a
+// nack (checksum reject from a live peer) from silence (dead wire).
+func (s *Sublink) attempt(p *sim.Proc, data []byte) (delivered, acked bool, err error) {
+	l := s.parent
+	if s.down || s.peer.down {
+		// The DMA arms and drives the first bytes, but no acknowledge
+		// bits ever come back.
+		l.wire.Use(p, DMAStartup+AckTimeout)
+		l.Timeouts++
+		return false, false, nil
+	}
+	l.wire.Use(p, DMAStartup+sim.Duration(len(data))*ByteTime)
+	l.BytesSent += int64(len(data))
+	l.Transfers++
 	// Deliver a copy: the sender may reuse its buffer immediately.
-	msg := Message{Data: append([]byte(nil), data...), From: s.Name()}
-	s.peer.inbox.Send(p, msg)
-	return nil
+	payload := append([]byte(nil), data...)
+	sum := Checksum(data)
+	if l.injector != nil {
+		if bad := l.injector.Corrupt(s.Name(), payload); bad != nil {
+			l.Corrupted++
+			if Checksum(bad) != sum {
+				// Receiver's checksum rejects the frame: nack.
+				return false, true, nil
+			}
+			// The corruption slipped past the checksum — delivered
+			// wrong, counted as an uncorrected error.
+			l.Undetected++
+			payload = bad
+		}
+	}
+	s.peer.inbox.Send(p, Message{Data: payload, From: s.Name(), Checksum: sum})
+	return true, true, nil
+}
+
+// Flush discards any messages queued in this sublink's inbox and
+// reports how many were dropped. Recovery uses it to clear stale
+// traffic before replaying from a checkpoint.
+func (s *Sublink) Flush() int {
+	n := 0
+	for {
+		if _, ok := s.inbox.TryRecv(); !ok {
+			return n
+		}
+		n++
+	}
 }
 
 // Recv blocks until a message arrives on this sublink and returns its

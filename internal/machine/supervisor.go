@@ -1,0 +1,293 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"tseries/internal/comm"
+	"tseries/internal/fault"
+	"tseries/internal/link"
+	"tseries/internal/memory"
+	"tseries/internal/module"
+	"tseries/internal/sim"
+	"tseries/internal/stats"
+)
+
+// Supervisor is the recovery orchestrator the paper's system ring and
+// disk exist to support: it runs a distributed workload under watch,
+// and when an unrecoverable fault surfaces — a node crash, a link that
+// stays dead past its retransmit budget, a memory parity error — it
+// halts the machine, flushes in-flight traffic, restores the last
+// consistent snapshot from the module disks, and replays. A workload
+// that keeps its progress in checkpointed node memory resumes from the
+// last completed phase rather than from scratch.
+type Supervisor struct {
+	M *Machine
+
+	// MaxRestarts bounds how many rollbacks Run tolerates before
+	// giving up.
+	MaxRestarts int
+	// DrainTime is how long the supervisor lets in-flight DMA and
+	// router activity settle after halting, before flushing state.
+	DrainTime sim.Duration
+
+	alarm     *sim.Chan
+	procs     []*sim.Proc
+	lastSnaps []*module.Snapshot
+	prevSnaps []*module.Snapshot
+	lastCkpt  sim.Time
+
+	// Counters for FaultReport.
+	Crashes          int64
+	ParityFaults     int64
+	Rollbacks        int64
+	RestoreFallbacks int64
+
+	// LastRecovery is the halt-to-replay time of the most recent
+	// rollback (the experiment E17 recovery-time metric).
+	LastRecovery sim.Duration
+}
+
+// NewSupervisor attaches a recovery supervisor to a machine.
+func NewSupervisor(m *Machine) *Supervisor {
+	return &Supervisor{
+		M:           m,
+		MaxRestarts: 4,
+		DrainTime:   500 * sim.Millisecond,
+		alarm:       sim.NewChan(m.K, "supervisor/alarm", 1024),
+	}
+}
+
+// post raises an alarm from kernel (event-callback) context, where no
+// process is running to block on the channel send.
+func (sv *Supervisor) post(err error) {
+	sv.M.K.Go("supervisor/alarmpost", func(p *sim.Proc) {
+		sv.alarm.Send(p, err)
+	})
+}
+
+// nodeCrashed is the fault injector's notification that a node died.
+// The node's application process is killed on the spot — its board
+// stopped executing — and the supervisor is alarmed.
+func (sv *Supervisor) nodeCrashed(id int) {
+	sv.Crashes++
+	if id < len(sv.procs) {
+		if pr := sv.procs[id]; pr != nil && !pr.Done() {
+			pr.Kill()
+		}
+	}
+	sv.post(&comm.CrashedError{Node: id})
+}
+
+// Checkpoint snapshots every module now and makes it the rollback
+// target, keeping the previous snapshot as a fallback against disk
+// corruption.
+func (sv *Supervisor) Checkpoint(p *sim.Proc) error {
+	snaps, err := sv.M.SnapshotAll(p)
+	if err != nil {
+		return err
+	}
+	sv.prevSnaps, sv.lastSnaps = sv.lastSnaps, snaps
+	sv.lastCkpt = p.Now()
+	return nil
+}
+
+// MaybeCheckpoint checkpoints if at least interval has elapsed since
+// the last one. interval <= 0 disables periodic checkpointing.
+func (sv *Supervisor) MaybeCheckpoint(p *sim.Proc, interval sim.Duration) error {
+	if interval <= 0 || p.Now().Sub(sv.lastCkpt) < interval {
+		return nil
+	}
+	return sv.Checkpoint(p)
+}
+
+// Run executes body once per node under supervision: it takes an
+// initial checkpoint, spawns one process per node, and waits for all
+// of them — or for a fault. A body that returns an error raises an
+// alarm (so does the fault injector, for crashes); the supervisor then
+// halts everything, rolls the machine back, and replays, up to
+// MaxRestarts times.
+func (sv *Supervisor) Run(p *sim.Proc, body func(bp *sim.Proc, id int) error) error {
+	n := sv.M.Spec.Nodes
+	if err := sv.Checkpoint(p); err != nil {
+		return err
+	}
+	for restart := 0; ; restart++ {
+		okc := sim.NewChan(sv.M.K, fmt.Sprintf("supervisor/ok%d", restart), n)
+		sv.procs = make([]*sim.Proc, n)
+		for id := 0; id < n; id++ {
+			nodeID := id
+			sv.procs[id] = sv.M.K.Go(fmt.Sprintf("supervisor/n%d", nodeID), func(bp *sim.Proc) {
+				if err := body(bp, nodeID); err != nil {
+					sv.noteFault(err)
+					sv.alarm.Send(bp, err)
+					return
+				}
+				okc.Send(bp, struct{}{})
+			})
+		}
+		var faultErr error
+		for oks := 0; oks < n && faultErr == nil; {
+			which, v := sim.Select(p, sv.alarm, okc)
+			if which == 0 {
+				faultErr = v.(error)
+			} else {
+				oks++
+			}
+		}
+		if faultErr == nil {
+			return nil
+		}
+		if restart >= sv.MaxRestarts {
+			return fmt.Errorf("supervisor: giving up after %d restarts: %v", restart, faultErr)
+		}
+		if err := sv.recover(p); err != nil {
+			return err
+		}
+	}
+}
+
+// noteFault classifies a body error for the counters.
+func (sv *Supervisor) noteFault(err error) {
+	var pe *memory.ParityError
+	if errors.As(err, &pe) {
+		sv.ParityFaults++
+	}
+}
+
+// recover is the rollback sequence: halt, drain, flush, repair,
+// restore, and clear stale alarms.
+func (sv *Supervisor) recover(p *sim.Proc) error {
+	start := p.Now()
+	for _, pr := range sv.procs {
+		if pr != nil && !pr.Done() {
+			pr.Kill()
+		}
+	}
+	// A crash can land mid-checkpoint; abort the snapshot workers too,
+	// or a stale collector would swallow the chunks of later snapshots.
+	for _, mod := range sv.M.Modules {
+		mod.AbortSnapshot()
+	}
+	// Let in-flight DMA transfers and router forwards run out before
+	// flushing, so nothing re-enters the queues behind our back.
+	p.Wait(sv.DrainTime)
+	sv.M.Net.Flush()
+	for _, mod := range sv.M.Modules {
+		mod.FlushThread()
+	}
+	for _, nd := range sv.M.Nodes {
+		if !nd.Alive() {
+			nd.Repair()
+		}
+	}
+	// Rewind to the newest snapshot; if its blocks rotted on disk,
+	// fall back one generation.
+	if err := sv.M.RestoreAll(p, sv.lastSnaps); err != nil {
+		sv.RestoreFallbacks++
+		if sv.prevSnaps == nil {
+			return fmt.Errorf("supervisor: restore failed with no older snapshot: %v", err)
+		}
+		sv.lastSnaps, sv.prevSnaps = sv.prevSnaps, nil
+		if err := sv.M.RestoreAll(p, sv.lastSnaps); err != nil {
+			return fmt.Errorf("supervisor: fallback restore failed: %v", err)
+		}
+	}
+	sv.Rollbacks++
+	for {
+		if _, ok := sv.alarm.TryRecv(); !ok {
+			break
+		}
+	}
+	sv.LastRecovery = p.Now().Sub(start)
+	return nil
+}
+
+// ArmFaults attaches a fault plan to the machine: the plan's bit-error
+// injector goes on every link (node links and module system links),
+// and each timed event is scheduled on the kernel. sv may be nil when
+// no supervision is wanted (pure injection experiments).
+func (m *Machine) ArmFaults(plan *fault.Plan, sv *Supervisor) {
+	if plan == nil {
+		return
+	}
+	for _, nd := range m.Nodes {
+		for _, l := range nd.Links {
+			l.SetInjector(plan)
+		}
+	}
+	for _, mod := range m.Modules {
+		mod.Sys.Link.SetInjector(plan)
+	}
+	for _, ev := range plan.Events {
+		ev := ev
+		m.K.At(sim.Time(ev.At), func() { m.applyFault(ev, sv) })
+	}
+}
+
+// applyFault executes one timed fault event.
+func (m *Machine) applyFault(ev fault.Event, sv *Supervisor) {
+	switch ev.Kind {
+	case fault.Crash:
+		if ev.Node < len(m.Nodes) && m.Nodes[ev.Node].Alive() {
+			m.Nodes[ev.Node].Crash()
+			if sv != nil {
+				sv.nodeCrashed(ev.Node)
+			}
+		}
+	case fault.LinkDown, fault.LinkUp:
+		if ev.Node < len(m.Nodes) && ev.Dim < m.Dim {
+			// Severing one end kills the channel both ways: neither
+			// side sees acknowledges while it is down.
+			m.Nodes[ev.Node].Sublink(comm.CubeSublink(ev.Dim)).SetDown(ev.Kind == fault.LinkDown)
+		}
+	case fault.FlipBit:
+		if ev.Node < len(m.Nodes) {
+			m.Nodes[ev.Node].Mem.FlipBit(ev.Addr, ev.Bit)
+		}
+	case fault.DiskCorrupt:
+		if ev.Mod < len(m.Modules) {
+			m.Modules[ev.Mod].Disk.CorruptNth(ev.Blk)
+		}
+	}
+}
+
+// FaultReport aggregates the fault and recovery counters of the whole
+// machine: the plan's injection totals, every link's error accounting,
+// every endpoint's routing decisions, the disks' scrub results, and
+// the supervisor's rollback history. plan and sv may be nil.
+func (m *Machine) FaultReport(plan *fault.Plan, sv *Supervisor) stats.FaultCounters {
+	var fc stats.FaultCounters
+	if plan != nil {
+		fc.FramesCorrupted = plan.FramesCorrupted
+		fc.BitsFlipped = plan.BitsFlipped
+	}
+	addLink := func(l *link.Link) {
+		fc.Detected += l.Corrupted - l.Undetected
+		fc.Undetected += l.Undetected
+		fc.Retransmits += l.Retransmits
+		fc.Timeouts += l.Timeouts
+		fc.Drops += l.Drops
+	}
+	for _, nd := range m.Nodes {
+		for _, l := range nd.Links {
+			addLink(l)
+		}
+	}
+	for _, mod := range m.Modules {
+		addLink(mod.Sys.Link)
+		fc.DiskCorrupted += mod.Disk.Corrupted
+	}
+	for id := 0; id < m.Net.Size(); id++ {
+		ep := m.Net.Endpoint(id)
+		fc.Detours += ep.Detours
+		fc.RouteDrops += ep.RouteDrops
+	}
+	if sv != nil {
+		fc.Crashes = sv.Crashes
+		fc.ParityFaults = sv.ParityFaults
+		fc.Rollbacks = sv.Rollbacks
+		fc.RestoreFallbacks = sv.RestoreFallbacks
+	}
+	return fc
+}

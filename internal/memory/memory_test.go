@@ -245,6 +245,27 @@ func TestParityOnRowLoad(t *testing.T) {
 	if err == nil {
 		t.Fatal("row load missed parity error")
 	}
+	// The row port reports the exact failing byte, not just the row.
+	pe, ok := err.(*ParityError)
+	if !ok || pe.Addr != RowAddr(3)+100 {
+		t.Fatalf("err = %v, want ParityError at %d", err, RowAddr(3)+100)
+	}
+	// A clean row on the same port still loads fine.
+	k.Go("vec2", func(p *sim.Proc) { err = m.LoadRow(p, 4, &reg) })
+	k.Run(0)
+	if err != nil {
+		t.Fatalf("clean row load failed: %v", err)
+	}
+	// Two faulty bytes: the first (lowest-address) one is reported, the
+	// way a sequential per-byte parity check on the row stream sees it.
+	m.FlipBit(RowAddr(5)+60, 2)
+	m.FlipBit(RowAddr(5)+61, 7)
+	k.Go("vec3", func(p *sim.Proc) { err = m.LoadRow(p, 5, &reg) })
+	k.Run(0)
+	pe, ok = err.(*ParityError)
+	if !ok || pe.Addr != RowAddr(5)+60 {
+		t.Fatalf("err = %v, want ParityError at first bad byte %d", err, RowAddr(5)+60)
+	}
 }
 
 func TestQuickVectorRegRoundTrip(t *testing.T) {

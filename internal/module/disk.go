@@ -15,12 +15,17 @@ package module
 
 import (
 	"fmt"
+	"hash/crc32"
+	"sort"
 
 	"tseries/internal/sim"
 )
 
 // Disk is a module's system disk. Transfers are timed; contents are real
-// bytes so a restore genuinely rewinds the machine.
+// bytes so a restore genuinely rewinds the machine. Every block is
+// stored with a checksum, verified on read — a block rotted on the
+// platter (or corrupted by a fault plan) surfaces as a CorruptError
+// instead of silently restoring garbage into node memory.
 type Disk struct {
 	Name string
 
@@ -34,8 +39,22 @@ type Disk struct {
 	busy *sim.Resource
 
 	blocks map[string][]byte
+	sums   map[string]uint32
 
 	BytesWritten, BytesRead int64
+	// Corrupted counts reads that failed their checksum.
+	Corrupted int64
+}
+
+// CorruptError reports a disk block whose contents no longer match the
+// checksum recorded when it was written.
+type CorruptError struct {
+	Disk string
+	Key  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("disk %s: block %q fails its checksum", e.Disk, e.Key)
 }
 
 // NewDisk creates a system disk.
@@ -46,17 +65,27 @@ func NewDisk(k *sim.Kernel, name string) *Disk {
 		ByteTime: sim.Microsecond, // 1 MB/s sustained
 		busy:     sim.NewResource(k, name+"/disk", 1),
 		blocks:   map[string][]byte{},
+		sums:     map[string]uint32{},
 	}
 }
 
-// Write stores a named block, consuming seek plus transfer time.
-func (d *Disk) Write(p *sim.Proc, key string, data []byte) {
-	d.busy.Use(p, d.SeekTime+sim.Duration(len(data))*d.ByteTime)
+// store records a block and its checksum (untimed bookkeeping; callers
+// charge wire/platter time themselves).
+func (d *Disk) store(key string, data []byte) {
 	d.blocks[key] = append([]byte(nil), data...)
+	d.sums[key] = crc32.ChecksumIEEE(data)
 	d.BytesWritten += int64(len(data))
 }
 
-// Read retrieves a named block.
+// Write stores a named block, consuming seek plus transfer time. The
+// block is copied, so later mutation of the caller's slice cannot
+// rewrite the stored checkpoint.
+func (d *Disk) Write(p *sim.Proc, key string, data []byte) {
+	d.busy.Use(p, d.SeekTime+sim.Duration(len(data))*d.ByteTime)
+	d.store(key, data)
+}
+
+// Read retrieves a copy of a named block, verifying its checksum.
 func (d *Disk) Read(p *sim.Proc, key string) ([]byte, error) {
 	data, ok := d.blocks[key]
 	if !ok {
@@ -64,6 +93,10 @@ func (d *Disk) Read(p *sim.Proc, key string) ([]byte, error) {
 	}
 	d.busy.Use(p, d.SeekTime+sim.Duration(len(data))*d.ByteTime)
 	d.BytesRead += int64(len(data))
+	if crc32.ChecksumIEEE(data) != d.sums[key] {
+		d.Corrupted++
+		return nil, &CorruptError{Disk: d.Name, Key: key}
+	}
 	return append([]byte(nil), data...), nil
 }
 
@@ -73,8 +106,46 @@ func (d *Disk) Has(key string) bool {
 	return ok
 }
 
+// Verify reports whether a block exists and matches its checksum
+// (untimed; a restore scrubs the whole snapshot before streaming it
+// into node memory).
+func (d *Disk) Verify(key string) bool {
+	data, ok := d.blocks[key]
+	if !ok {
+		return false
+	}
+	if crc32.ChecksumIEEE(data) != d.sums[key] {
+		d.Corrupted++
+		return false
+	}
+	return true
+}
+
 // Delete removes a block (untimed).
-func (d *Disk) Delete(key string) { delete(d.blocks, key) }
+func (d *Disk) Delete(key string) {
+	delete(d.blocks, key)
+	delete(d.sums, key)
+}
 
 // Keys reports how many blocks are stored.
 func (d *Disk) Keys() int { return len(d.blocks) }
+
+// CorruptNth flips one bit in the n-th stored block (by sorted key
+// order, modulo the block count) without updating its checksum — the
+// fault injector's media-rot primitive. It returns the damaged key, or
+// "" when the disk is empty.
+func (d *Disk) CorruptNth(n int) string {
+	if len(d.blocks) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(d.blocks))
+	for k := range d.blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	key := keys[((n%len(keys))+len(keys))%len(keys)]
+	if blk := d.blocks[key]; len(blk) > 0 {
+		blk[(n*131)%len(blk)] ^= 1 << uint(n%8)
+	}
+	return key
+}

@@ -2,6 +2,7 @@ package module
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"tseries/internal/sim"
@@ -77,6 +78,63 @@ func TestDiskDirectory(t *testing.T) {
 	k.Run(0)
 	if err == nil {
 		t.Fatal("read of deleted block succeeded")
+	}
+}
+
+func TestDiskCorruptionDetected(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "t")
+	k.Go("io", func(p *sim.Proc) {
+		d.Write(p, "a", []byte("first block"))
+		d.Write(p, "b", []byte("second block"))
+	})
+	k.Run(0)
+	if !d.Verify("a") || !d.Verify("b") {
+		t.Fatal("fresh blocks fail verification")
+	}
+	key := d.CorruptNth(0)
+	if key != "a" {
+		t.Fatalf("corrupted %q, want sorted-first block a", key)
+	}
+	if d.Verify("a") {
+		t.Fatal("corrupted block passes verification")
+	}
+	var err error
+	var got []byte
+	k.Go("io2", func(p *sim.Proc) {
+		_, err = d.Read(p, "a")
+		got, _ = d.Read(p, "b")
+	})
+	k.Run(0)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Key != "a" {
+		t.Fatalf("read of rotted block: %v, want CorruptError on a", err)
+	}
+	if string(got) != "second block" {
+		t.Fatalf("clean block damaged: %q", got)
+	}
+	if d.Corrupted < 2 { // one Verify miss + one Read miss
+		t.Fatalf("Corrupted = %d", d.Corrupted)
+	}
+	// Rewriting the block heals it.
+	k.Go("io3", func(p *sim.Proc) {
+		d.Write(p, "a", []byte("fresh"))
+		got, err = d.Read(p, "a")
+	})
+	k.Run(0)
+	if err != nil || string(got) != "fresh" {
+		t.Fatalf("rewrite did not heal: %v %q", err, got)
+	}
+}
+
+func TestDiskCorruptNthEmpty(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "t")
+	if key := d.CorruptNth(3); key != "" {
+		t.Fatalf("empty disk corrupted %q", key)
+	}
+	if d.Verify("missing") {
+		t.Fatal("missing block verified")
 	}
 }
 

@@ -72,6 +72,17 @@ type Module struct {
 	LastSnapshot *Snapshot
 
 	SnapshotsTaken int
+
+	// epoch tags the chunks of the current snapshot so a collector can
+	// discard strays from a snapshot that was aborted by a rollback.
+	epoch byte
+
+	// In-flight snapshot workers: the collecting process and the
+	// per-node memory readers. A rollback kills them via AbortSnapshot —
+	// a surviving stale collector would otherwise swallow (and discard,
+	// by epoch) the chunks of the next snapshot.
+	snapOwner   *sim.Proc
+	snapReaders []*sim.Proc
 }
 
 // New wires a module around the given nodes (up to eight; machine
@@ -144,7 +155,7 @@ func (m *Module) threadForwarder(p *sim.Proc, idx int, nd *node.Node) {
 			continue
 		}
 		if raw[0] == kindDown && int(raw[1]) == idx {
-			seq := int(binary.LittleEndian.Uint16(raw[2:4]))
+			seq := int(raw[2])
 			data := raw[4:]
 			// Write the image chunk back through the row port.
 			rows := (len(data) + memory.RowBytes - 1) / memory.RowBytes
@@ -182,12 +193,10 @@ func (m *Module) threadForwarder(p *sim.Proc, idx int, nd *node.Node) {
 	}
 }
 
-func chunkHeader(kind, nodeIdx, seq int) []byte {
-	h := make([]byte, 4)
-	h[0] = byte(kind)
-	h[1] = byte(nodeIdx)
-	binary.LittleEndian.PutUint16(h[2:], uint16(seq))
-	return h
+// chunkHeader is the 4-byte thread prefix: kind, node index, chunk
+// sequence number, and the snapshot epoch (zero for restore traffic).
+func chunkHeader(kind, nodeIdx, seq int, epoch byte) []byte {
+	return []byte{byte(kind), byte(nodeIdx), byte(seq), epoch}
 }
 
 // chunksPerNode is the number of thread chunks in one node image.
@@ -197,44 +206,115 @@ const chunksPerNode = memory.Bytes / SnapshotChunk
 // by streaming it along the system thread. The call blocks the invoking
 // process for the full snapshot time — about 15 seconds for a full
 // module, set by the thread's final link carrying all eight images.
+//
+// A snapshot interrupted by a rollback leaves reader processes and
+// in-flight chunks behind; the next Snapshot call drains those and
+// rejects their chunks by epoch, so a half-taken image can never mix
+// into a new one.
 func (m *Module) Snapshot(p *sim.Proc) (*Snapshot, error) {
 	snap := &Snapshot{ID: m.nextSnapID}
 	m.nextSnapID++
+	m.epoch++
+	epoch := m.epoch
+
+	// Discard chunks left over from an aborted earlier snapshot.
+	for {
+		if _, ok := m.upChan.TryRecv(); !ok {
+			break
+		}
+	}
+
+	m.snapOwner = p
+	m.snapReaders = m.snapReaders[:0]
+	defer func() {
+		if m.snapOwner == p {
+			m.snapOwner = nil
+		}
+	}()
 
 	// Each node reads its memory through the row port and injects chunks
 	// into the thread.
 	for i, nd := range m.Nodes {
 		idx, n := i, nd
-		m.k.Go(fmt.Sprintf("mod%d/n%d/snapread", m.Index, idx), func(rp *sim.Proc) {
+		m.snapReaders = append(m.snapReaders, m.k.Go(fmt.Sprintf("mod%d/n%d/snapread", m.Index, idx), func(rp *sim.Proc) {
 			for seq := 0; seq < chunksPerNode; seq++ {
 				rows := SnapshotChunk / memory.RowBytes
 				rp.Wait(sim.Duration(rows) * sim.RowAccess)
 				data := n.Mem.PeekBytes(seq*SnapshotChunk, SnapshotChunk)
-				msg := append(chunkHeader(kindUp, idx, seq), data...)
+				msg := append(chunkHeader(kindUp, idx, seq, epoch), data...)
 				if err := n.Sublink(ThreadOutSublink).Send(rp, msg); err != nil {
-					panic(err)
+					// Thread severed (node crash mid-snapshot): abandon
+					// this image; the supervisor will roll back.
+					return
 				}
 			}
-		})
+		}))
 	}
 
 	// Collect and stream to disk.
 	m.Disk.busy.Use(p, m.Disk.SeekTime)
 	want := len(m.Nodes) * chunksPerNode
-	for got := 0; got < want; got++ {
+	for got := 0; got < want; {
 		raw := m.upChan.Recv(p).([]byte)
+		if raw[3] != epoch {
+			continue // stray chunk from an aborted snapshot
+		}
 		nodeIdx := int(raw[1])
-		seq := int(binary.LittleEndian.Uint16(raw[2:4]))
+		seq := int(raw[2])
 		data := raw[4:]
 		m.Disk.busy.Use(p, sim.Duration(len(data))*m.Disk.ByteTime)
-		key := snapKey(snap.ID, nodeIdx, seq)
-		m.Disk.blocks[key] = append([]byte(nil), data...)
-		m.Disk.BytesWritten += int64(len(data))
+		m.Disk.store(snapKey(snap.ID, nodeIdx, seq), data)
+		got++
 	}
 	snap.Time = p.Now()
 	m.LastSnapshot = snap
 	m.SnapshotsTaken++
 	return snap, nil
+}
+
+// AbortSnapshot kills an in-flight snapshot's worker processes: the
+// per-node memory readers and the collecting process itself. The
+// recovery supervisor calls it when halting the machine — a stale
+// collector left blocked on the chunk channel would steal (and, by
+// epoch check, discard) the chunks of every later snapshot.
+func (m *Module) AbortSnapshot() {
+	for _, rp := range m.snapReaders {
+		if rp != nil && !rp.Done() {
+			rp.Kill()
+		}
+	}
+	m.snapReaders = m.snapReaders[:0]
+	if m.snapOwner != nil && !m.snapOwner.Done() {
+		m.snapOwner.Kill()
+	}
+	m.snapOwner = nil
+}
+
+// FlushThread discards all in-flight system-thread state: node and
+// system-board sublink inboxes and the module's collection channels.
+// The recovery supervisor calls it after halting the machine. It
+// reports how many queued items were dropped.
+func (m *Module) FlushThread() int {
+	n := 0
+	drain := func(c *sim.Chan) {
+		for {
+			if _, ok := c.TryRecv(); !ok {
+				return
+			}
+			n++
+		}
+	}
+	drain(m.upChan)
+	drain(m.ioChan)
+	drain(m.applied)
+	for _, nd := range m.Nodes {
+		n += nd.Sublink(ThreadInSublink).Flush()
+		n += nd.Sublink(ThreadOutSublink).Flush()
+	}
+	for i := 0; i < link.SublinksPerLink; i++ {
+		n += m.Sys.Link.Sublink(i).Flush()
+	}
+	return n
 }
 
 func snapKey(id, nodeIdx, seq int) string {
@@ -247,11 +327,17 @@ func (m *Module) Restore(p *sim.Proc, snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("module %d: no snapshot to restore", m.Index)
 	}
-	// Verify the snapshot is complete before touching the machine.
+	// Verify the snapshot is complete and uncorrupted before touching
+	// the machine: a rotted block must fail the whole restore (so the
+	// supervisor can fall back to an older snapshot), not half-rewind it.
 	for idx := range m.Nodes {
 		for seq := 0; seq < chunksPerNode; seq++ {
-			if !m.Disk.Has(snapKey(snap.ID, idx, seq)) {
+			key := snapKey(snap.ID, idx, seq)
+			if !m.Disk.Has(key) {
 				return fmt.Errorf("module %d: snapshot %d is missing node %d chunk %d", m.Index, snap.ID, idx, seq)
+			}
+			if !m.Disk.Verify(key) {
+				return &CorruptError{Disk: m.Disk.Name, Key: key}
 			}
 		}
 	}
@@ -271,7 +357,7 @@ func (m *Module) Restore(p *sim.Proc, snap *Snapshot) error {
 					}
 					return
 				}
-				queue.Send(fp, append(chunkHeader(kindDown, idx, seq), data...))
+				queue.Send(fp, append(chunkHeader(kindDown, idx, seq, 0), data...))
 			}
 		}
 	})

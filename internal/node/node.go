@@ -32,7 +32,30 @@ type Node struct {
 	CP    *cp.CPU
 	FPU   *fpu.Unit
 	Links [link.LinksPerNode]*link.Link
+
+	crashed bool
 }
+
+// Crash takes the node out of service: every sublink stops driving and
+// acknowledging, so peers see timeouts instead of silence. The caller
+// (the fault injector) is responsible for killing the node's processes.
+func (n *Node) Crash() {
+	n.crashed = true
+	for _, l := range n.Links {
+		l.SetDown(true)
+	}
+}
+
+// Repair returns a crashed node to service with its links restored.
+func (n *Node) Repair() {
+	n.crashed = false
+	for _, l := range n.Links {
+		l.SetDown(false)
+	}
+}
+
+// Alive reports whether the node is in service.
+func (n *Node) Alive() bool { return !n.crashed }
 
 // New builds a node with all units wired together.
 func New(k *sim.Kernel, id int) *Node {

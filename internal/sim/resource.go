@@ -77,11 +77,12 @@ func (r *Resource) Release() {
 }
 
 // Use acquires the resource, holds it for d, and releases it: the common
-// pattern for a timed hardware transaction.
+// pattern for a timed hardware transaction. The release is deferred so
+// the unit is returned even if p is killed mid-wait.
 func (r *Resource) Use(p *Proc, d Duration) {
 	r.Acquire(p)
+	defer r.Release()
 	p.Wait(d)
-	r.Release()
 }
 
 // Utilization reports the time-integrated fraction of units in use since

@@ -75,6 +75,72 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// FaultCounters aggregates the machine's error-detection and recovery
+// accounting across every layer: wire corruption and the link layer's
+// response, routing detours, disk scrubbing, and supervisor rollbacks.
+type FaultCounters struct {
+	// Injected faults.
+	FramesCorrupted int64 // link frames the fault plan damaged
+	BitsFlipped     int64 // individual wire bit errors injected
+	// Link layer.
+	Detected    int64 // corrupted frames the checksum caught (corrected by retransmit)
+	Undetected  int64 // corrupted frames delivered — uncorrected errors
+	Retransmits int64 // extra transmissions after a nack or timeout
+	Timeouts    int64 // attempts lost to a severed wire or dead peer
+	Drops       int64 // sends abandoned after the retransmit budget
+	// Routing layer.
+	Detours    int64 // forwards over a non-e-cube dimension
+	RouteDrops int64 // messages dropped by routers
+	// System layer.
+	DiskCorrupted    int64 // disk blocks that failed their checksum
+	Crashes          int64 // node crash events absorbed
+	ParityFaults     int64 // memory parity errors detected
+	Rollbacks        int64 // checkpoint restores performed by the supervisor
+	RestoreFallbacks int64 // rollbacks that had to reach past the newest snapshot
+}
+
+// Add accumulates another set of counters.
+func (f FaultCounters) Add(o FaultCounters) FaultCounters {
+	f.FramesCorrupted += o.FramesCorrupted
+	f.BitsFlipped += o.BitsFlipped
+	f.Detected += o.Detected
+	f.Undetected += o.Undetected
+	f.Retransmits += o.Retransmits
+	f.Timeouts += o.Timeouts
+	f.Drops += o.Drops
+	f.Detours += o.Detours
+	f.RouteDrops += o.RouteDrops
+	f.DiskCorrupted += o.DiskCorrupted
+	f.Crashes += o.Crashes
+	f.ParityFaults += o.ParityFaults
+	f.Rollbacks += o.Rollbacks
+	f.RestoreFallbacks += o.RestoreFallbacks
+	return f
+}
+
+// Table renders the counters as a two-column report.
+func (f FaultCounters) Table() *Table {
+	t := NewTable("fault/recovery counters", "counter", "value")
+	t.Add("frames corrupted (injected)", f.FramesCorrupted)
+	t.Add("wire bits flipped (injected)", f.BitsFlipped)
+	t.Add("detected (checksum nack)", f.Detected)
+	t.Add("undetected (delivered bad)", f.Undetected)
+	t.Add("retransmits", f.Retransmits)
+	t.Add("ack timeouts", f.Timeouts)
+	t.Add("link drops", f.Drops)
+	t.Add("route detours", f.Detours)
+	t.Add("route drops", f.RouteDrops)
+	t.Add("disk blocks corrupt", f.DiskCorrupted)
+	t.Add("node crashes", f.Crashes)
+	t.Add("memory parity faults", f.ParityFaults)
+	t.Add("rollbacks", f.Rollbacks)
+	t.Add("restore fallbacks", f.RestoreFallbacks)
+	return t
+}
+
+// String renders the counter table.
+func (f FaultCounters) String() string { return f.Table().String() }
+
 // MBps converts a byte count over a simulated duration to MB/s.
 func MBps(bytes int64, d sim.Duration) float64 {
 	if d <= 0 {

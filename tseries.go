@@ -17,7 +17,9 @@ package tseries
 
 import (
 	"tseries/internal/core"
+	"tseries/internal/fault"
 	"tseries/internal/machine"
+	"tseries/internal/stats"
 )
 
 // System is a complete, runnable T Series configuration.
@@ -31,6 +33,26 @@ type Result = core.Result
 
 // Experiment regenerates one table or figure of the paper.
 type Experiment = core.Experiment
+
+// FaultPlan is a deterministic, seed-driven fault scenario: a link
+// bit-error rate plus timed events (node crashes, link outages, DRAM
+// bit flips, disk corruption).
+type FaultPlan = fault.Plan
+
+// FaultEvent is one timed fault in a plan.
+type FaultEvent = fault.Event
+
+// Supervisor is the recovery orchestrator: it checkpoints the machine
+// and replays supervised workloads after unrecoverable faults.
+type Supervisor = machine.Supervisor
+
+// FaultCounters aggregates detected/corrected/uncorrected error,
+// retransmit, detour, and rollback accounting.
+type FaultCounters = stats.FaultCounters
+
+// ParseFaultPlan parses the `tsim -faults` specification syntax, e.g.
+// "seed=7,ber=1e-6,crash=2@12s,down=0.1@5s+2s".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
 
 // New builds a 2^dim-node machine with its hypercube network, modules,
 // system ring and disks. Simulable dimensions are 0..8; use SpecFor for

@@ -6,6 +6,7 @@ import (
 	"tseries/internal/comm"
 	"tseries/internal/fparith"
 	"tseries/internal/sim"
+	"tseries/internal/workloads"
 )
 
 func TestPublicFacade(t *testing.T) {
@@ -51,7 +52,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		ids[e.ID] = true
 	}
 	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "A1", "A2", "A3", "A4", "A5", "A6"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5", "A6"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing from the registry", want)
 		}
@@ -68,5 +69,37 @@ func TestQuickstartExperiment(t *testing.T) {
 	}
 	if r.Table == nil {
 		t.Fatal("no table")
+	}
+}
+
+func TestFaultPlanSAXPYSmoke(t *testing.T) {
+	// A small distributed SAXPY under a nonzero bit-error rate must
+	// finish bit-correct: the link layer detects every injected error by
+	// checksum and corrects it by retransmission.
+	plan, err := ParseFaultPlan("seed=11,ber=1e-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 11 || plan.BER != 1e-6 {
+		t.Fatalf("plan parsed wrong: %+v", plan)
+	}
+	res, err := workloads.FaultTolerantSAXPY(2, 3, 2, 0, 0, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("SAXPY under BER 1e-6 not bit-correct")
+	}
+	if plan.FramesCorrupted == 0 {
+		t.Fatal("plan injected nothing — the smoke test is vacuous")
+	}
+	if res.Faults.Detected != res.Faults.FramesCorrupted || res.Faults.Undetected != 0 {
+		t.Fatalf("error accounting: %+v", res.Faults)
+	}
+	if res.Faults.Retransmits < res.Faults.Detected {
+		t.Fatalf("detected %d but retransmitted only %d", res.Faults.Detected, res.Faults.Retransmits)
+	}
+	if res.Rollbacks != 0 {
+		t.Fatal("bit errors alone forced a rollback")
 	}
 }
