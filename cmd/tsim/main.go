@@ -1,153 +1,221 @@
-// Command tsim builds a T Series machine and runs one of the bundled
-// scientific workloads on it, printing simulated time and achieved
-// rates — a quick way to explore how problem size and machine size trade
-// against the architecture's 1:13:130 balance.
+// Command tsim is the registry-driven front end to the simulator: it
+// lists and runs the paper's experiments (E1..E17, ablations A1..A6)
+// and the bundled scientific workloads, sweeps a workload across cube
+// dimensions, and fans independent runs across a worker pool — with
+// output guaranteed byte-identical to a serial run.
 //
 // Usage:
 //
+//	tsim -list
+//	tsim -experiment all -parallel 4
+//	tsim -experiment E5,E6,E8
 //	tsim -workload saxpy  -dim 3 -rows 200
-//	tsim -workload matmul -dim 2 -n 64
-//	tsim -workload fft    -dim 4 -n 1024
-//	tsim -workload stencil -dim 2 -n 32 -iters 50
-//	tsim -workload lu     -n 64
+//	tsim -workload matmul -dim 2 -n 64 -json
+//	tsim -workload fft    -sweep dim=1..5 -n 1024 -parallel 4
 //	tsim -workload recovery -dim 2 -phases 6 -faults seed=7,ber=1e-6,crash=2@12s -ckpt 8s
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
+	"strings"
 	"time"
 
+	"tseries/internal/core"
 	"tseries/internal/fault"
 	"tseries/internal/sim"
 	"tseries/internal/workloads"
 )
 
 func main() {
-	workload := flag.String("workload", "saxpy", "saxpy | matmul | fft | stencil | lu | dlu | sort | solve | recovery")
-	dim := flag.Int("dim", 3, "cube dimension (2^dim nodes)")
-	n := flag.Int("n", 64, "problem size (matrix order, FFT points, grid side)")
-	rows := flag.Int("rows", 100, "SAXPY rows per node")
-	iters := flag.Int("iters", 20, "stencil iterations")
-	seed := flag.Int64("seed", 1, "input generator seed")
-	phases := flag.Int("phases", 6, "recovery workload phases")
-	faults := flag.String("faults", "", "fault plan, e.g. seed=7,ber=1e-6,crash=2@12s,down=0.1@5s+2s,flip=1:4096.3@9s,disk=0.5@14s")
-	ckpt := flag.Duration("ckpt", 0, "periodic checkpoint interval for -workload recovery (0 = initial checkpoint only)")
-	pad := flag.Duration("pad", 2*time.Second, "per-phase synthetic compute time for -workload recovery")
-	flag.Parse()
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
 
-	r := rand.New(rand.NewSource(*seed))
-	switch *workload {
-	case "saxpy":
-		res, err := workloads.DistributedSAXPY(*dim, *rows, 1)
-		fail(err)
-		fmt.Printf("SAXPY: %d nodes × %d rows: %v simulated, %.1f MFLOPS aggregate\n",
-			res.Nodes, res.Rows, res.Elapsed, res.MFLOPS())
-	case "matmul":
-		a, b := randMat(r, *n), randMat(r, *n)
-		res, err := workloads.DistributedMatMul(*dim, *n, a, b)
-		fail(err)
-		fmt.Printf("MatMul %d×%d on %d nodes: %v simulated, %.1f MFLOPS\n",
-			*n, *n, res.Nodes, res.Elapsed, res.MFLOPS())
-	case "fft":
-		in := make([]complex128, *n)
-		for i := range in {
-			in[i] = complex(r.NormFloat64(), r.NormFloat64())
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("tsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiments and workloads, then exit")
+	experiment := fs.String("experiment", "", `experiment ID, comma-separated IDs, or "all"`)
+	workload := fs.String("workload", "", "workload to run (see -list)")
+	sweep := fs.String("sweep", "", `sweep the workload across cube sizes, e.g. "dim=2..6"`)
+	parallel := fs.Int("parallel", 1, "worker goroutines for multi-run invocations (<1: one per CPU)")
+	jsonOut := fs.Bool("json", false, "emit results as JSON")
+
+	cfg := workloads.DefaultConfig()
+	fs.IntVar(&cfg.Dim, "dim", cfg.Dim, "cube dimension (2^dim nodes)")
+	fs.IntVar(&cfg.N, "n", cfg.N, "problem size (matrix order, FFT points, grid side, record count)")
+	fs.IntVar(&cfg.Rows, "rows", cfg.Rows, "SAXPY rows per node")
+	fs.IntVar(&cfg.Iters, "iters", cfg.Iters, "stencil iterations")
+	fs.IntVar(&cfg.Reps, "reps", cfg.Reps, "SAXPY sweep repetitions")
+	fs.IntVar(&cfg.Phases, "phases", cfg.Phases, "recovery workload phases")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "input generator seed")
+	faults := fs.String("faults", "", "fault plan, e.g. seed=7,ber=1e-6,crash=2@12s,down=0.1@5s+2s,flip=1:4096.3@9s,disk=0.5@14s")
+	ckpt := fs.Duration("ckpt", 0, "periodic checkpoint interval for -workload recovery (0 = initial checkpoint only)")
+	pad := fs.Duration("pad", time.Duration(cfg.Pad/sim.Nanosecond)*time.Nanosecond, "per-phase synthetic compute time for -workload recovery")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg.Pad = sim.Duration(pad.Nanoseconds()) * sim.Nanosecond
+	cfg.Ckpt = sim.Duration(ckpt.Nanoseconds()) * sim.Nanosecond
+	if *faults != "" {
+		plan, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		res, err := workloads.DistributedFFT(*dim, in)
-		fail(err)
-		fmt.Printf("FFT %d points on %d nodes: %v simulated\n", res.N, res.Nodes, res.Elapsed)
-	case "stencil":
-		init := make([][]float64, *n)
-		for i := range init {
-			init[i] = make([]float64, *n)
-			init[i][0] = 100
-		}
-		res, err := workloads.DistributedStencil(*dim/2, *dim-*dim/2, *n, init, *iters)
-		fail(err)
-		fmt.Printf("Stencil %d×%d, %d iterations on %d nodes: %v simulated\n",
-			res.Grid, res.Grid, res.Iters, res.Nodes, res.Elapsed)
-	case "dlu":
-		a := randMat(r, *n)
-		for i := range a {
-			a[i][i] += float64(*n)
-		}
-		res, err := workloads.DistributedLU(*dim, *n, a)
-		fail(err)
-		fmt.Printf("Distributed LU %d×%d on %d nodes: %v simulated, %d pivot swaps\n",
-			res.N, res.N, res.Nodes, res.Elapsed, res.Swaps)
-	case "sort":
-		keys := make([]float64, *n)
-		for i := range keys {
-			keys[i] = r.NormFloat64()
-		}
-		res, err := workloads.SortRecords(*n, keys, true)
-		fail(err)
-		fmt.Printf("Sorted %d × 1 KB records (row moves): %v simulated, %d moves costing %v\n",
-			res.Records, res.Elapsed, res.Moves, res.MoveTime)
-	case "solve":
-		a := randMat(r, *n)
-		for i := range a {
-			a[i][i] += float64(*n)
-		}
-		b := make([]float64, *n)
-		for i := range b {
-			b[i] = r.NormFloat64()
-		}
-		res, err := workloads.Solve(*n, a, b)
-		fail(err)
-		fmt.Printf("Solve %d×%d (LINPACK recipe, 1 node): %v simulated, %.2f MFLOPS, residual %.2e\n",
-			res.N, res.N, res.Elapsed, res.MFLOPS(), res.Residual)
-	case "lu":
-		a := randMat(r, *n)
-		for i := range a {
-			a[i][i] += float64(*n) // keep it comfortably nonsingular
-		}
-		res, err := workloads.LU(*n, a, true)
-		fail(err)
-		fmt.Printf("LU %d×%d (1 node): %v simulated, %d row pivots costing %v\n",
-			res.N, res.N, res.Elapsed, res.Swaps, res.PivotTime)
-	case "recovery":
-		var plan *fault.Plan
-		if *faults != "" {
-			var err error
-			plan, err = fault.Parse(*faults)
-			fail(err)
-		}
-		res, err := workloads.FaultTolerantSAXPY(*dim, *phases, *rows/25+1,
-			sim.Duration(pad.Nanoseconds())*sim.Nanosecond,
-			sim.Duration(ckpt.Nanoseconds())*sim.Nanosecond, plan)
-		fail(err)
-		fmt.Printf("Recovery SAXPY: %d nodes × %d phases: %v simulated, bit-correct=%v, goodput %.4g MB/s\n",
-			res.Nodes, res.Phases, res.Elapsed, res.Correct, res.GoodputMBps())
-		fmt.Printf("checkpoints=%d rollbacks=%d last-recovery=%v\n",
-			res.Checkpoints, res.Rollbacks, res.Recovery)
-		fmt.Print(res.Faults.Table().String())
-		if !res.Correct {
-			os.Exit(1)
-		}
+		cfg.Faults = plan
+	}
+
+	switch {
+	case *list:
+		printLists(stdout)
+		return 0
+	case *experiment != "":
+		return runExperiments(stdout, stderr, *experiment, *parallel, *jsonOut)
+	case *workload != "":
+		return runWorkload(stdout, stderr, *workload, cfg, *sweep, *parallel, *jsonOut)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-		os.Exit(2)
+		fs.Usage()
+		fmt.Fprintln(stderr)
+		printLists(stderr)
+		return 2
 	}
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+// printLists renders the two registries: every experiment with its
+// title, and every workload with the Config flags it consumes.
+func printLists(w io.Writer) {
+	fmt.Fprintln(w, "Experiments (-experiment <id|all>):")
+	for _, e := range core.All() {
+		fmt.Fprintf(w, "  %-4s %s\n", e.ID, e.Title)
+	}
+	fmt.Fprintln(w, "\nWorkloads (-workload <name>):")
+	for _, r := range workloads.Runners() {
+		fmt.Fprintf(w, "  %-9s flags: -%s\n", r.Name(), strings.Join(r.Flags(), " -"))
 	}
 }
 
-func randMat(r *rand.Rand, n int) [][]float64 {
-	m := make([][]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-		for j := range m[i] {
-			m[i][j] = r.NormFloat64()
+// expJSON is the JSON shape of one experiment result.
+type expJSON struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics"`
+	Notes   []string           `json:"notes,omitempty"`
+	Output  string             `json:"output"`
+}
+
+func runExperiments(stdout, stderr io.Writer, spec string, parallel int, jsonOut bool) int {
+	var exps []core.Experiment
+	if spec == "all" {
+		exps = core.All()
+	} else {
+		for _, id := range strings.Split(spec, ",") {
+			e, err := core.Find(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			exps = append(exps, e)
 		}
 	}
-	return m
+	results, err := core.RunSuite(exps, parallel)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if jsonOut {
+		out := make([]expJSON, len(results))
+		for i, r := range results {
+			out[i] = expJSON{ID: r.ID, Title: r.Title, Metrics: r.Metrics, Notes: r.Notes, Output: r.String()}
+		}
+		return emitJSON(stdout, stderr, out)
+	}
+	for _, r := range results {
+		fmt.Fprintln(stdout, r)
+	}
+	return 0
+}
+
+// pointJSON is the JSON shape of one sweep point.
+type pointJSON struct {
+	Dim    int               `json:"dim"`
+	Report *workloads.Report `json:"report,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+func runWorkload(stdout, stderr io.Writer, name string, cfg workloads.Config, sweep string, parallel int, jsonOut bool) int {
+	if sweep != "" {
+		var lo, hi int
+		if n, err := fmt.Sscanf(sweep, "dim=%d..%d", &lo, &hi); n != 2 || err != nil || lo > hi {
+			fmt.Fprintf(stderr, "tsim: bad -sweep %q (want dim=LO..HI)\n", sweep)
+			return 2
+		}
+		dims := make([]int, 0, hi-lo+1)
+		for d := lo; d <= hi; d++ {
+			dims = append(dims, d)
+		}
+		points, err := core.RunSweep(name, cfg, dims, parallel)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		failed := 0
+		if jsonOut {
+			out := make([]pointJSON, len(points))
+			for i, pt := range points {
+				out[i] = pointJSON{Dim: pt.Dim}
+				if pt.Err != nil {
+					out[i].Error = pt.Err.Error()
+					failed++
+				} else {
+					rep := pt.Report
+					out[i].Report = &rep
+				}
+			}
+			if code := emitJSON(stdout, stderr, out); code != 0 {
+				return code
+			}
+		} else {
+			for _, pt := range points {
+				if pt.Err != nil {
+					fmt.Fprintf(stdout, "dim=%d: error: %v\n", pt.Dim, pt.Err)
+					failed++
+					continue
+				}
+				fmt.Fprintf(stdout, "dim=%d: %s\n", pt.Dim, pt.Report)
+			}
+		}
+		if failed == len(points) {
+			return 1
+		}
+		return 0
+	}
+	r, err := workloads.Get(name)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	rep, err := r.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if jsonOut {
+		return emitJSON(stdout, stderr, rep)
+	}
+	fmt.Fprintln(stdout, rep)
+	return 0
+}
+
+func emitJSON(stdout, stderr io.Writer, v interface{}) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(&out, &errb, args)
+	return code, out.String(), errb.String()
+}
+
+// Unknown names must exit non-zero and tell the user what is valid —
+// the registry error messages carry the lists.
+func TestUnknownWorkloadListsValidAndExitsNonzero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-workload", "bogus")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	for _, name := range []string{"bogus", "saxpy", "matmul", "recovery"} {
+		if !strings.Contains(stderr, name) {
+			t.Fatalf("stderr %q does not mention %q", stderr, name)
+		}
+	}
+}
+
+func TestUnknownExperimentListsValidAndExitsNonzero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-experiment", "E99")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	for _, id := range []string{"E99", "E1", "E17", "A6"} {
+		if !strings.Contains(stderr, id) {
+			t.Fatalf("stderr %q does not mention %q", stderr, id)
+		}
+	}
+}
+
+func TestListShowsBothRegistries(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"E1", "A6", "saxpy", "stencil", "-dim"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-experiment") || !strings.Contains(stderr, "saxpy") {
+		t.Fatalf("usage should name the flags and registries:\n%s", stderr)
+	}
+}
+
+func TestBadSweepSpec(t *testing.T) {
+	code, _, stderr := runCLI(t, "-workload", "saxpy", "-sweep", "nodes=1..4")
+	if code != 2 || !strings.Contains(stderr, "dim=LO..HI") {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+}
+
+func TestWorkloadJSONRoundTrips(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-workload", "saxpy", "-dim", "1", "-rows", "5", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	var rep struct {
+		Workload string
+		Nodes    int
+		Elapsed  int64
+		Kernel   struct{ Events int64 }
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if rep.Workload != "saxpy" || rep.Nodes != 2 || rep.Elapsed <= 0 || rep.Kernel.Events == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+// TestExperimentSubsetRunsInRequestedOrder checks the comma-list path
+// end to end on two cheap experiments.
+func TestExperimentSubsetRunsInRequestedOrder(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-experiment", "E7,E1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	i7, i1 := strings.Index(stdout, "### E7"), strings.Index(stdout, "### E1 ")
+	if i7 < 0 || i1 < 0 || i7 > i1 {
+		t.Fatalf("expected E7 before E1:\n%s", stdout)
+	}
+}

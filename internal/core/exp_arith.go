@@ -172,3 +172,10 @@ func abs(v float64) float64 {
 	}
 	return v
 }
+
+func init() {
+	register("E1", "Node peak arithmetic rate (16 MFLOPS, §II)", E1NodePeak)
+	register("E7", "Pipeline depths: adder 6, multiplier 5/7 (§II Arithmetic)", E7PipelineDepths)
+	register("E13", "Vector forms with feedback: DOT/SUM at pipe rate (§II)", E13VectorForms)
+	register("A1", "Ablation: single-bank memory", A1SingleBank)
+}

@@ -85,3 +85,7 @@ func runBroadcast(dim, payload int, tree bool) (sim.Duration, error) {
 	k.Run(0)
 	return sim.Duration(last), nil
 }
+
+func init() {
+	register("A6", "Ablation: binomial-tree broadcast vs naive root loop", A6BroadcastTree)
+}

@@ -89,3 +89,7 @@ func minDur(a, b sim.Duration) sim.Duration {
 	}
 	return b
 }
+
+func init() {
+	register("A5", "Ablation: chunked multi-hop transfers (software cut-through)", A5ChunkedTransfer)
+}

@@ -295,3 +295,11 @@ func bitReverse(x, width int) int {
 	}
 	return out
 }
+
+func init() {
+	register("E5", "Link protocol: >0.5 MB/s per link, 5 µs DMA startup (§II)", E5LinkProtocol)
+	register("E6", "Balance ratio 1:13:130 (§II Communications)", E6BalanceRatio)
+	register("E8", "Binary n-cube mappings and O(log N) distance (Figure 3, §III)", E8CubeMappings)
+	register("A2", "Ablation: sublink multiplexing divides link bandwidth", A2SublinkMux)
+	register("A4", "Ablation: e-cube vs random-order routing under permutation load", A4Routing)
+}

@@ -154,3 +154,7 @@ func linkGoodput(plan *fault.Plan) (float64, *link.Link, error) {
 	}
 	return stats.MBps(frames*frameBytes, sim.Duration(end)), la, nil
 }
+
+func init() {
+	register("E17", "Fault injection & recovery: retransmit, detour, rollback (§III)", E17FaultRecovery)
+}

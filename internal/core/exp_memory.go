@@ -241,3 +241,10 @@ func E12RowPivot() (*Result, error) {
 	r.Metrics["sort_speedup"] = float64(sslow.MoveTime) / float64(sfast.MoveTime)
 	return r, nil
 }
+
+func init() {
+	register("E2", "Processor bandwidth hierarchy (Figure 2)", E2Bandwidths)
+	register("E3", "Dual-port memory: word vs row port (§II Memory)", E3DualPortMemory)
+	register("E4", "Gather/scatter cost (1.6 µs per 64-bit element, §II)", E4GatherScatter)
+	register("E12", "Row-move pivoting vs pointer/element moves (§II Memory)", E12RowPivot)
+}

@@ -147,3 +147,9 @@ func overlapRun(forms int) (vec, total sim.Duration) {
 	total = sim.Duration(k2.Run(0))
 	return vec, total
 }
+
+func init() {
+	register("E14", "Distributed memory vs shared bus (§I motivation)", E14SharedBus)
+	register("E15", "FFT on the butterfly mapping (Figure 3)", E15FFT)
+	register("E16", "Gather overlap crossover at ~13 ops/word (§II)", E16OverlapCrossover)
+}

@@ -197,3 +197,10 @@ func A3SnapshotInterval() (*Result, error) {
 	r.Metrics["best_interval_is_10min"] = boolMetric(best == "10 min")
 	return r, nil
 }
+
+func init() {
+	register("E9", "Module aggregate: 128 MFLOPS, >12 MB/s intramodule (§III)", E9ModuleAggregate)
+	register("E10", "Configuration table: module → 14-cube (§III)", E10ConfigTable)
+	register("E11", "Snapshot ≈15 s regardless of configuration (§III)", E11Checkpoint)
+	register("A3", "Ablation: snapshot interval trade-off (~10 min compromise)", A3SnapshotInterval)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"tseries/internal/stats"
 )
@@ -48,49 +49,81 @@ func (r *Result) String() string {
 	return s
 }
 
-// Experiment regenerates one table or figure of the paper.
+// Experiment regenerates one table or figure of the paper. Run builds
+// its own System and kernel, so experiments are independent and may run
+// concurrently.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func() (*Result, error)
 }
 
-// All returns the full experiment suite in paper order, followed by the
-// ablations of DESIGN.md §5.
-func All() []Experiment {
-	return []Experiment{
-		{"E1", "Node peak arithmetic rate (16 MFLOPS, §II)", E1NodePeak},
-		{"E2", "Processor bandwidth hierarchy (Figure 2)", E2Bandwidths},
-		{"E3", "Dual-port memory: word vs row port (§II Memory)", E3DualPortMemory},
-		{"E4", "Gather/scatter cost (1.6 µs per 64-bit element, §II)", E4GatherScatter},
-		{"E5", "Link protocol: >0.5 MB/s per link, 5 µs DMA startup (§II)", E5LinkProtocol},
-		{"E6", "Balance ratio 1:13:130 (§II Communications)", E6BalanceRatio},
-		{"E7", "Pipeline depths: adder 6, multiplier 5/7 (§II Arithmetic)", E7PipelineDepths},
-		{"E8", "Binary n-cube mappings and O(log N) distance (Figure 3, §III)", E8CubeMappings},
-		{"E9", "Module aggregate: 128 MFLOPS, >12 MB/s intramodule (§III)", E9ModuleAggregate},
-		{"E10", "Configuration table: module → 14-cube (§III)", E10ConfigTable},
-		{"E11", "Snapshot ≈15 s regardless of configuration (§III)", E11Checkpoint},
-		{"E12", "Row-move pivoting vs pointer/element moves (§II Memory)", E12RowPivot},
-		{"E13", "Vector forms with feedback: DOT/SUM at pipe rate (§II)", E13VectorForms},
-		{"E14", "Distributed memory vs shared bus (§I motivation)", E14SharedBus},
-		{"E15", "FFT on the butterfly mapping (Figure 3)", E15FFT},
-		{"E16", "Gather overlap crossover at ~13 ops/word (§II)", E16OverlapCrossover},
-		{"E17", "Fault injection & recovery: retransmit, detour, rollback (§III)", E17FaultRecovery},
-		{"A1", "Ablation: single-bank memory", A1SingleBank},
-		{"A2", "Ablation: sublink multiplexing divides link bandwidth", A2SublinkMux},
-		{"A3", "Ablation: snapshot interval trade-off (~10 min compromise)", A3SnapshotInterval},
-		{"A4", "Ablation: e-cube vs random-order routing under permutation load", A4Routing},
-		{"A5", "Ablation: chunked multi-hop transfers (software cut-through)", A5ChunkedTransfer},
-		{"A6", "Ablation: binomial-tree broadcast vs naive root loop", A6BroadcastTree},
+// registry holds every registered experiment. Each exp_*.go file
+// declares its experiments in an init(), so adding one is a single
+// register call next to its implementation.
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs are a programming error.
+func register(id, title string, run func() (*Result, error)) {
+	if _, dup := registry[id]; dup {
+		panic("core: duplicate experiment " + id)
 	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
 }
 
-// Find returns the experiment with the given ID.
-func Find(id string) (Experiment, error) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, nil
-		}
+// ordinal maps an ID like "E12" or "A3" to its suite position: the
+// paper experiments (E…) in numeric order, then the ablations (A…).
+func ordinal(id string) int {
+	if len(id) < 2 {
+		return 1 << 30
 	}
-	return Experiment{}, fmt.Errorf("core: no experiment %q", id)
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 1 << 30
+		}
+		n = n*10 + int(c-'0')
+	}
+	if id[0] == 'A' {
+		n += 1 << 16
+	} else if id[0] != 'E' {
+		return 1 << 30
+	}
+	return n
+}
+
+// All returns the full experiment suite in paper order — E1..E17 — then
+// the ablations A1..A6 of DESIGN.md §5.
+func All() []Experiment {
+	exps := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		exps = append(exps, e)
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		oi, oj := ordinal(exps[i].ID), ordinal(exps[j].ID)
+		if oi != oj {
+			return oi < oj
+		}
+		return exps[i].ID < exps[j].ID
+	})
+	return exps
+}
+
+// IDs lists the registered experiment IDs in suite order.
+func IDs() []string {
+	exps := All()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Find returns the experiment with the given ID; the error lists the
+// valid IDs.
+func Find(id string) (Experiment, error) {
+	if e, ok := registry[id]; ok {
+		return e, nil
+	}
+	return Experiment{}, fmt.Errorf("core: no experiment %q (valid: %s)", id, strings.Join(IDs(), ", "))
 }

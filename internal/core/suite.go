@@ -1,0 +1,97 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"tseries/internal/workloads"
+)
+
+// The suite runner fans independent simulations across host goroutines.
+// Every Experiment and workload Runner builds its own Kernel and System,
+// so runs share no mutable state; the only requirement for reproducible
+// output is that results are reassembled in submission order, which the
+// indexed pool below guarantees. A parallel run therefore produces
+// byte-identical output to a serial one.
+
+// fanIndexed executes work(0..n-1) on up to `workers` goroutines.
+// workers < 1 means one per CPU; workers == 1 degenerates to a plain
+// serial loop on the calling goroutine.
+func fanIndexed(n, workers int, work func(i int)) {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				work(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RunSuite runs the given experiments across a pool of `workers` host
+// goroutines (workers < 1: one per CPU) and returns their results in
+// suite order. If any experiment fails, the returned error is the
+// earliest failure in suite order — not arrival order — so error
+// reporting is deterministic too; results of the experiments that
+// succeeded are still returned (failed slots are nil).
+func RunSuite(exps []Experiment, workers int) ([]*Result, error) {
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
+	fanIndexed(len(exps), workers, func(i int) {
+		results[i], errs[i] = exps[i].Run()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// SweepPoint is one cube dimension of a workload sweep.
+type SweepPoint struct {
+	Dim    int
+	Report workloads.Report
+	Err    error
+}
+
+// RunSweep runs one registered workload at each cube dimension in dims,
+// fanning the points across `workers` goroutines. Points come back in
+// dims order with per-point errors recorded rather than aborting the
+// sweep (a dimension can legitimately fail, e.g. a problem size that
+// does not divide across 2^dim nodes). The workload name is resolved
+// before any work starts; an unknown name fails the whole sweep.
+func RunSweep(name string, base workloads.Config, dims []int, workers int) ([]SweepPoint, error) {
+	r, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(dims))
+	fanIndexed(len(dims), workers, func(i int) {
+		cfg := base
+		cfg.Dim = dims[i]
+		rep, err := r.Run(cfg)
+		points[i] = SweepPoint{Dim: dims[i], Report: rep, Err: err}
+	})
+	return points, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tseries/internal/workloads"
+)
+
+func TestRegistryOrder(t *testing.T) {
+	want := []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17",
+		"A1", "A2", "A3", "A4", "A5", "A6",
+	}
+	if got := IDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+}
+
+func TestFindUnknownListsValid(t *testing.T) {
+	_, err := Find("E99")
+	if err == nil {
+		t.Fatal("Find(E99) should fail")
+	}
+	for _, id := range []string{"E99", "E1", "A6"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("error %q does not mention %q", err, id)
+		}
+	}
+}
+
+// renderSuite turns suite results into the exact text a serial tsim run
+// prints, the byte-identity yardstick for the parallel runner.
+func renderSuite(results []*Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestSuiteParallelMatchesSerial is the acceptance check for the
+// parallel runner: the full suite run on 4 workers must render
+// byte-identically to the serial run.
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison in long mode only")
+	}
+	exps := All()
+	serial, err := RunSuite(exps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSuite(exps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderSuite(serial), renderSuite(parallel)
+	if a != b {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+func TestRunSweepOrderedAndDeterministic(t *testing.T) {
+	base := workloads.DefaultConfig()
+	base.Rows = 10
+	dims := []int{0, 1, 2, 3}
+	serial, err := RunSweep("saxpy", base, dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep("saxpy", base, dims, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(dims) || len(parallel) != len(dims) {
+		t.Fatalf("point counts: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Dim != dims[i] {
+			t.Fatalf("point %d has dim %d", i, serial[i].Dim)
+		}
+		if serial[i].Err != nil {
+			t.Fatalf("dim %d: %v", dims[i], serial[i].Err)
+		}
+		if got, want := parallel[i].Report.String(), serial[i].Report.String(); got != want {
+			t.Fatalf("dim %d differs:\n%s\n---\n%s", dims[i], want, got)
+		}
+	}
+	// Throughput must grow with the cube: 8 nodes beat 1.
+	if serial[3].Report.MFLOPS() <= serial[0].Report.MFLOPS() {
+		t.Fatalf("no scaling: dim0 %.1f vs dim3 %.1f MFLOPS",
+			serial[0].Report.MFLOPS(), serial[3].Report.MFLOPS())
+	}
+}
+
+func TestRunSweepUnknownWorkload(t *testing.T) {
+	if _, err := RunSweep("bogus", workloads.DefaultConfig(), []int{1}, 1); err == nil {
+		t.Fatal("unknown workload should fail the sweep")
+	}
+}
+
+// TestRunSweepPerPointErrors: a sweep keeps going past a dimension that
+// cannot host the problem (N=16 does not divide over 2^5 nodes).
+func TestRunSweepPerPointErrors(t *testing.T) {
+	base := workloads.DefaultConfig()
+	base.N = 16
+	points, err := RunSweep("matmul", base, []int{2, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Err != nil {
+		t.Fatalf("dim 2 should work: %v", points[0].Err)
+	}
+	if points[1].Err == nil {
+		t.Fatal("dim 5 with N=16 should fail (16 rows over 32 nodes)")
+	}
+}
+
+// BenchmarkSuiteSerial and BenchmarkSuiteParallel time the full
+// experiment suite; the parallel benchmark also reports its measured
+// speedup over a serial reference pass (the ≥2× acceptance target on
+// ≥4 cores).
+func BenchmarkSuiteSerial(b *testing.B) {
+	exps := All()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSuite(exps, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteParallel(b *testing.B) {
+	exps := All()
+	// One serial reference pass, timed by hand: testing.Benchmark cannot
+	// be nested inside a running benchmark (it deadlocks on the global
+	// benchmark lock).
+	start := time.Now()
+	if _, err := RunSuite(exps, 1); err != nil {
+		b.Fatal(err)
+	}
+	serialPerOp := float64(time.Since(start).Nanoseconds())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSuite(exps, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	parallelPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(serialPerOp/parallelPerOp, "speedup_vs_serial")
+	b.ReportMetric(float64(runtime.NumCPU()), "host_cpus")
+}

@@ -271,6 +271,7 @@ func (s *Sublink) attempt(p *sim.Proc, data []byte) (delivered, acked bool, err 
 	}
 	l.wire.Use(p, DMAStartup+sim.Duration(len(data))*ByteTime)
 	l.BytesSent += int64(len(data))
+	l.k.Count("link.bytes", int64(len(data)))
 	l.Transfers++
 	// Deliver a copy: the sender may reuse its buffer immediately.
 	payload := append([]byte(nil), data...)

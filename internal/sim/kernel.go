@@ -49,6 +49,17 @@ type Kernel struct {
 	running *Proc         // process currently executing, nil in kernel context
 	stopped bool
 	tracef  func(format string, args ...interface{})
+
+	// Execution metrics (see Stats) and the optional observer surface.
+	events    int64
+	spawned   int64
+	finished  int64
+	parks     int64
+	unparks   int64
+	maxQueue  int
+	counters  map[string]int64
+	resources []*Resource
+	observer  Observer
 }
 
 // NewKernel returns an empty simulation at time zero.
@@ -77,6 +88,9 @@ func (k *Kernel) At(t Time, fn func()) {
 	}
 	k.seq++
 	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+	if len(k.queue) > k.maxQueue {
+		k.maxQueue = len(k.queue)
+	}
 }
 
 // After schedules fn to run in kernel context d from now.
@@ -118,6 +132,10 @@ func (k *Kernel) Run(horizon Duration) Time {
 		e := heap.Pop(&k.queue).(*event)
 		k.now = e.at
 		e.fn()
+		k.events++
+		if k.observer != nil {
+			k.observer.Event(k.now)
+		}
 	}
 	return k.now
 }
@@ -162,11 +180,13 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	if !daemon {
 		k.procs++
 	}
+	k.spawned++
 	go func() {
 		<-p.resume // wait for the kernel to hand us the start slot
 		defer func() {
 			r := recover()
 			p.done = true
+			k.finished++
 			if !p.daemon {
 				k.procs--
 			}
@@ -209,6 +229,10 @@ func (p *Proc) run() {
 // called from the process goroutine while it holds the execution slot.
 func (p *Proc) park(what string) {
 	p.waiting = what
+	p.k.parks++
+	if p.k.observer != nil {
+		p.k.observer.Park(p, what)
+	}
 	p.k.running = nil
 	p.k.yielded <- struct{}{}
 	<-p.resume
@@ -222,6 +246,10 @@ func (p *Proc) park(what string) {
 // unpark schedules the process to resume at the current time. Kernel
 // context only.
 func (p *Proc) unpark() {
+	p.k.unparks++
+	if p.k.observer != nil {
+		p.k.observer.Unpark(p)
+	}
 	p.k.At(p.k.now, func() { p.run() })
 }
 

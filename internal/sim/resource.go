@@ -21,12 +21,15 @@ type resWaiter struct {
 	ok bool
 }
 
-// NewResource creates a resource with the given number of units.
+// NewResource creates a resource with the given number of units and
+// registers it with the kernel for utilization reporting (Kernel.Stats).
 func NewResource(k *Kernel, name string, units int) *Resource {
 	if units <= 0 {
 		panic("sim: resource needs at least one unit")
 	}
-	return &Resource{k: k, name: name, total: units}
+	r := &Resource{k: k, name: name, total: units}
+	k.resources = append(k.resources, r)
+	return r
 }
 
 // Name returns the resource's name.
@@ -41,7 +44,10 @@ func (r *Resource) stamp() {
 	r.lastStamp = now
 }
 
-// Acquire takes one unit, blocking p until one is free.
+// Acquire takes one unit, blocking p until one is free. A waiter killed
+// while queued never receives a unit; if the grant and the kill land in
+// the same instant, the unwinding panic releases the unit to the next
+// live waiter so it cannot leak.
 func (r *Resource) Acquire(p *Proc) {
 	if r.inUse < r.total {
 		r.stamp()
@@ -50,6 +56,14 @@ func (r *Resource) Acquire(p *Proc) {
 	}
 	w := &resWaiter{p: p}
 	r.queue = append(r.queue, w)
+	defer func() {
+		if v := recover(); v != nil {
+			if w.ok {
+				r.Release()
+			}
+			panic(v)
+		}
+	}()
 	for !w.ok {
 		p.park("acquire " + r.name)
 	}
@@ -83,6 +97,14 @@ func (r *Resource) Use(p *Proc, d Duration) {
 	r.Acquire(p)
 	defer r.Release()
 	p.Wait(d)
+}
+
+// BusyTime reports the integrated unit-time in use since the start of
+// the simulation: holding one of two units for 3 s and then both for
+// 1 s integrates to 5 s.
+func (r *Resource) BusyTime() Duration {
+	r.stamp()
+	return r.busy
 }
 
 // Utilization reports the time-integrated fraction of units in use since

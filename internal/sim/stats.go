@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a snapshot of engine-level execution metrics: what the kernel
+// did to get the simulation to its current instant. Any run can report
+// these without instrumenting component code — the kernel counts events
+// and process lifecycle transitions itself, resources register themselves
+// at construction, and components publish extra quantities through the
+// named-counter surface (Kernel.Count).
+type Stats struct {
+	Now      Time  // simulated clock at snapshot time
+	Events   int64 // events executed by Run
+	Spawned  int64 // processes started (Go + GoDaemon)
+	Finished int64 // processes that ran to completion or were killed
+	Parks    int64 // times a process blocked (wait, channel, resource, join)
+	Unparks  int64 // times a blocked process was scheduled to resume
+	MaxQueue int   // high-water mark of the pending event queue
+
+	// Counters holds component-published quantities (e.g. "link.bytes",
+	// the payload bytes carried by every serial link).
+	Counters map[string]int64
+
+	// Resources holds one utilization snapshot per Resource created
+	// under this kernel, in creation order.
+	Resources []ResourceStats
+}
+
+// ResourceStats is one resource's utilization snapshot.
+type ResourceStats struct {
+	Name        string
+	Units       int
+	InUse       int
+	Busy        Duration // integrated unit-time in use
+	Utilization float64  // Busy / (elapsed × Units), 0..1
+}
+
+// String renders the snapshot as a compact one-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d procs=%d/%d parks=%d unparks=%d maxqueue=%d",
+		s.Events, s.Finished, s.Spawned, s.Parks, s.Unparks, s.MaxQueue)
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, s.Counters[k])
+	}
+	return b.String()
+}
+
+// Observer receives kernel lifecycle callbacks as they happen; install
+// one with Kernel.SetObserver to trace or profile a run without touching
+// component code. Callbacks run in kernel context (or, for Park, on the
+// process goroutine while it still holds the execution slot), so they
+// must not block.
+type Observer interface {
+	// Event fires after each executed event.
+	Event(at Time)
+	// Park fires when a process blocks; reason is what it is waiting on.
+	Park(p *Proc, reason string)
+	// Unpark fires when a blocked process is scheduled to resume.
+	Unpark(p *Proc)
+}
+
+// SetObserver installs a lifecycle observer (nil removes it). The
+// built-in Stats counters accumulate regardless.
+func (k *Kernel) SetObserver(o Observer) { k.observer = o }
+
+// Count adds delta to the named component counter. Components use this
+// to publish quantities (bytes moved, frames sent) that runs report
+// uniformly through Stats without bespoke plumbing.
+func (k *Kernel) Count(name string, delta int64) {
+	if k.counters == nil {
+		k.counters = map[string]int64{}
+	}
+	k.counters[name] += delta
+}
+
+// Counter reads a named component counter (0 if never counted).
+func (k *Kernel) Counter(name string) int64 { return k.counters[name] }
+
+// Stats snapshots the kernel's execution metrics at the current instant.
+func (k *Kernel) Stats() Stats {
+	s := Stats{
+		Now:      k.now,
+		Events:   k.events,
+		Spawned:  k.spawned,
+		Finished: k.finished,
+		Parks:    k.parks,
+		Unparks:  k.unparks,
+		MaxQueue: k.maxQueue,
+	}
+	if len(k.counters) > 0 {
+		s.Counters = make(map[string]int64, len(k.counters))
+		for name, v := range k.counters {
+			s.Counters[name] = v
+		}
+	}
+	for _, r := range k.resources {
+		s.Resources = append(s.Resources, ResourceStats{
+			Name:        r.Name(),
+			Units:       r.total,
+			InUse:       r.inUse,
+			Busy:        r.BusyTime(),
+			Utilization: r.Utilization(),
+		})
+	}
+	return s
+}

@@ -37,15 +37,22 @@ func (t *Table) Add(cells ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// String renders the table.
+// String renders the table. Rows may carry more cells than there are
+// headers; the extra columns get headerless (but aligned) space.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Headers))
+	ncols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -64,7 +71,7 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	line(t.Headers)
-	seps := make([]string, len(t.Headers))
+	seps := make([]string, ncols)
 	for i := range seps {
 		seps[i] = strings.Repeat("-", widths[i])
 	}

@@ -34,6 +34,39 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableWideRows is the regression test for rows carrying more cells
+// than there are headers: every column — including the headerless ones —
+// must be widened to its longest cell, so all rows stay aligned.
+func TestTableWideRows(t *testing.T) {
+	tb := NewTable("wide", "id", "name")
+	tb.Add("r1", "short", "extra-cell-one", 7)
+	tb.Add("r2", "a-much-longer-name", "x", 1234567)
+	tb.Add("r3", "mid", "another-extra", 9)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The separator must cover all four columns, not just the two with
+	// headers.
+	sep := lines[2]
+	if strings.Count(sep, "  ") < 3 {
+		t.Fatalf("separator covers too few columns: %q", sep)
+	}
+	// Every data cell must start at the same rune column as the widest
+	// row dictates: "extra-cell-one" and "another-extra" share a start.
+	idx1 := strings.Index(lines[3], "extra-cell-one")
+	idx3 := strings.Index(lines[5], "another-extra")
+	if idx1 < 0 || idx3 < 0 || idx1 != idx3 {
+		t.Fatalf("third column misaligned (%d vs %d):\n%s", idx1, idx3, out)
+	}
+	// Fourth column too.
+	if i1, i2 := strings.Index(lines[3], "7"), strings.Index(lines[4], "1234567"); i1 != i2 {
+		t.Fatalf("fourth column misaligned (%d vs %d):\n%s", i1, i2, out)
+	}
+}
+
 func TestRates(t *testing.T) {
 	if got := MBps(1e6, sim.Second); got != 1 {
 		t.Fatalf("MBps = %g", got)

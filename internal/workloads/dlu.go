@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"math/rand"
 
 	"tseries/internal/comm"
 	"tseries/internal/fparith"
@@ -20,6 +21,30 @@ type DLUResult struct {
 	Swaps   int
 	L, U    [][]float64
 	Perm    []int
+	Stats   sim.Stats // engine metrics at completion
+}
+
+func init() {
+	RegisterFunc("dlu", []string{"dim", "n", "seed"}, func(cfg Config) (Report, error) {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		a := randMatDD(r, cfg.N)
+		res, err := DistributedLU(cfg.Dim, cfg.N, a)
+		if err != nil {
+			return Report{}, err
+		}
+		n := cfg.N
+		flops := 2 * int64(n) * int64(n) * int64(n) / 3
+		rep := newReport("dlu", res.Nodes, res.Elapsed, flops, res.Stats)
+		maxErr := luResidual(n, a, LUResult{L: res.L, U: res.U, Perm: res.Perm})
+		rep.Metrics["max_error"] = maxErr
+		rep.Metrics["swaps"] = float64(res.Swaps)
+		if maxErr > 1e-9*float64(n) {
+			return rep, fmt.Errorf("workloads: DLU residual %g", maxErr)
+		}
+		rep.Summary = fmt.Sprintf("DLU %d×%d on %d nodes: %v simulated, %d row swaps",
+			n, n, res.Nodes, res.Elapsed, res.Swaps)
+		return rep, nil
+	})
 }
 
 // DistributedLU factors an N×N matrix over a dim-cube with rows dealt
@@ -180,6 +205,7 @@ func DistributedLU(dim, n int, a [][]float64) (DLUResult, error) {
 		return DLUResult{}, firstErr
 	}
 	res.Elapsed = sim.Duration(end)
+	res.Stats = k.Stats()
 
 	// Collect factors.
 	res.L = make([][]float64, n)

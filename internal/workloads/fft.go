@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"math/cmplx"
+	"math/rand"
 
 	"tseries/internal/fparith"
 	"tseries/internal/machine"
@@ -34,6 +36,39 @@ type FFTResult struct {
 	Nodes   int
 	Elapsed sim.Duration
 	Out     []complex128 // natural order, for verification
+	Stats   sim.Stats    // engine metrics at completion
+}
+
+func init() {
+	RegisterFunc("fft", []string{"dim", "n", "seed"}, func(cfg Config) (Report, error) {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		in := make([]complex128, cfg.N)
+		for i := range in {
+			in[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		res, err := DistributedFFT(cfg.Dim, in)
+		if err != nil {
+			return Report{}, err
+		}
+		// Nominal radix-2 count: N/2 butterflies × log₂N stages × 10
+		// real operations each.
+		flops := int64(cfg.N/2) * int64(bits.Len(uint(cfg.N))-1) * 10
+		rep := newReport("fft", res.Nodes, res.Elapsed, flops, res.Stats)
+		want := HostDFT(in)
+		maxErr := 0.0
+		for i := range want {
+			if e := cmplx.Abs(res.Out[i] - want[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		rep.Metrics["max_error"] = maxErr
+		if maxErr > 1e-6 {
+			return rep, fmt.Errorf("workloads: fft result off by %g", maxErr)
+		}
+		rep.Summary = fmt.Sprintf("FFT %d points on %d nodes: %v simulated",
+			res.N, res.Nodes, res.Elapsed)
+		return rep, nil
+	})
 }
 
 // DistributedFFT computes an N-point decimation-in-frequency FFT across
@@ -158,7 +193,7 @@ func DistributedFFT(dim int, in []complex128) (FFTResult, error) {
 	}
 
 	// Collect; DIF leaves results in bit-reversed order.
-	res := FFTResult{N: n, Nodes: nNodes, Elapsed: sim.Duration(end)}
+	res := FFTResult{N: n, Nodes: nNodes, Elapsed: sim.Duration(end), Stats: k.Stats()}
 	res.Out = make([]complex128, n)
 	total := bits.Len(uint(n)) - 1
 	for id := range blocks {

@@ -2,6 +2,8 @@ package workloads
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"tseries/internal/fparith"
 	"tseries/internal/fpu"
@@ -18,6 +20,48 @@ type LUResult struct {
 	Swaps     int
 	L, U      [][]float64 // factors (host copies, for verification)
 	Perm      []int       // row permutation: PA = LU
+	Stats     sim.Stats   // engine metrics at completion
+}
+
+func init() {
+	RegisterFunc("lu", []string{"n", "seed"}, func(cfg Config) (Report, error) {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		a := randMatDD(r, cfg.N)
+		res, err := LU(cfg.N, a, true)
+		if err != nil {
+			return Report{}, err
+		}
+		n := cfg.N
+		flops := 2 * int64(n) * int64(n) * int64(n) / 3
+		rep := newReport("lu", 1, res.Elapsed, flops, res.Stats)
+		maxErr := luResidual(n, a, res)
+		rep.Metrics["max_error"] = maxErr
+		rep.Metrics["swaps"] = float64(res.Swaps)
+		rep.Metrics["pivot_time_us"] = res.PivotTime.Seconds() * 1e6
+		if maxErr > 1e-9*float64(n) {
+			return rep, fmt.Errorf("workloads: LU residual %g", maxErr)
+		}
+		rep.Summary = fmt.Sprintf("LU %d×%d on 1 node: %v simulated, %d row swaps (%v pivoting)",
+			n, n, res.Elapsed, res.Swaps, res.PivotTime)
+		return rep, nil
+	})
+}
+
+// luResidual is the max-norm of PA − LU.
+func luResidual(n int, a [][]float64, res LUResult) float64 {
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for kk := 0; kk <= i && kk <= j; kk++ {
+				s += res.L[i][kk] * res.U[kk][j]
+			}
+			if e := math.Abs(a[res.Perm[i]][j] - s); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	return maxErr
 }
 
 // LU factors an N×N matrix on a single node using the vector unit for
@@ -134,6 +178,7 @@ func LU(n int, a [][]float64, moveRows bool) (LUResult, error) {
 		return LUResult{}, firstErr
 	}
 	res.Elapsed = sim.Duration(end)
+	res.Stats = k.Stats()
 	res.L = readMatrix(nd, lBase, n)
 	res.U = readMatrix(nd, uBase, n)
 	return res, nil

@@ -2,6 +2,8 @@ package workloads
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"tseries/internal/fparith"
 	"tseries/internal/fpu"
@@ -17,6 +19,36 @@ type MatMulResult struct {
 	Elapsed sim.Duration
 	Flops   int64
 	C       [][]float64 // gathered result (row-major), for verification
+	Stats   sim.Stats   // engine metrics at completion
+}
+
+func init() {
+	RegisterFunc("matmul", []string{"dim", "n", "seed"}, func(cfg Config) (Report, error) {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		a, b := randMat(r, cfg.N), randMat(r, cfg.N)
+		res, err := DistributedMatMul(cfg.Dim, cfg.N, a, b)
+		if err != nil {
+			return Report{}, err
+		}
+		rep := newReport("matmul", res.Nodes, res.Elapsed, res.Flops, res.Stats)
+		want := HostMatMul(cfg.N, a, b)
+		maxErr := 0.0
+		for i := range want {
+			for j := range want[i] {
+				if e := math.Abs(res.C[i][j] - want[i][j]); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+		rep.Metrics["mflops"] = res.MFLOPS()
+		rep.Metrics["max_error"] = maxErr
+		if maxErr > 1e-9*float64(cfg.N) {
+			return rep, fmt.Errorf("workloads: matmul result off by %g", maxErr)
+		}
+		rep.Summary = fmt.Sprintf("MatMul %d×%d on %d nodes: %v simulated, %.1f MFLOPS",
+			res.N, res.N, res.Nodes, res.Elapsed, res.MFLOPS())
+		return rep, nil
+	})
 }
 
 // MFLOPS is the achieved aggregate rate.
@@ -145,6 +177,7 @@ func DistributedMatMul(dim int, n int, a, b [][]float64) (MatMulResult, error) {
 		return MatMulResult{}, firstErr
 	}
 	res.Elapsed = sim.Duration(end)
+	res.Stats = k.Stats()
 	// Gather C for verification (host-side, untimed).
 	res.C = make([][]float64, n)
 	for id, nd := range m.Nodes {

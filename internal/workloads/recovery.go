@@ -51,6 +51,29 @@ type RecoveryResult struct {
 	// PayloadBytes is the useful (application-level) exchange traffic;
 	// PayloadBytes/Elapsed is the run's goodput.
 	PayloadBytes int64
+	// Stats carries the engine metrics at completion.
+	Stats sim.Stats
+}
+
+func init() {
+	RegisterFunc("recovery", []string{"dim", "phases", "rows", "pad", "ckpt", "faults"}, func(cfg Config) (Report, error) {
+		rowsPerPhase := cfg.Rows/25 + 1
+		res, err := FaultTolerantSAXPY(cfg.Dim, cfg.Phases, rowsPerPhase, cfg.Pad, cfg.Ckpt, cfg.Faults)
+		if err != nil {
+			return Report{}, err
+		}
+		flops := int64(cfg.Phases) * int64(rowsPerPhase) * int64(res.Nodes) * 2 * memory.F64PerRow
+		rep := newReport("recovery", res.Nodes, res.Elapsed, flops, res.Stats)
+		rep.Metrics["checkpoints"] = float64(res.Checkpoints)
+		rep.Metrics["rollbacks"] = float64(res.Rollbacks)
+		rep.Metrics["goodput_mbps"] = res.GoodputMBps()
+		if !res.Correct {
+			return rep, fmt.Errorf("workloads: recovery run finished with corrupted state")
+		}
+		rep.Summary = fmt.Sprintf("Recovery: %d phases on %d nodes: %v simulated, %d checkpoints, %d rollbacks, %.2f MB/s goodput",
+			res.Phases, res.Nodes, res.Elapsed, res.Checkpoints, res.Rollbacks, res.GoodputMBps())
+		return rep, nil
+	})
 }
 
 // GoodputMBps is useful payload delivered per simulated second.
@@ -107,6 +130,7 @@ func FaultTolerantSAXPY(dim, phases, rowsPerPhase int, phasePad, ckptInterval si
 		Checkpoints: m.Modules[0].SnapshotsTaken,
 		Recovery:    sv.LastRecovery,
 		Faults:      m.FaultReport(plan, sv),
+		Stats:       k.Stats(),
 	}
 	if dim > 0 {
 		res.PayloadBytes = int64(phases) * int64(len(m.Nodes)) * int64(memory.RowBytes)

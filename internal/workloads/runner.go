@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"tseries/internal/fault"
+	"tseries/internal/sim"
+	"tseries/internal/stats"
+)
+
+// Config carries every knob a workload can consume. Each Runner reads
+// only the fields named by its Flags; the rest are ignored, so one
+// Config drives any workload in the registry. Inputs (matrices, signal
+// samples, sort keys) are generated deterministically from Seed.
+type Config struct {
+	Dim    int          // cube dimension (2^Dim nodes)
+	N      int          // problem size: matrix order, FFT points, grid side, record count
+	Rows   int          // SAXPY rows per node
+	Iters  int          // stencil iterations
+	Reps   int          // SAXPY sweep repetitions
+	Phases int          // recovery workload phases
+	Seed   int64        // input generator seed
+	Pad    sim.Duration // per-phase synthetic compute time (recovery)
+	Ckpt   sim.Duration // periodic checkpoint interval (recovery; 0 = initial only)
+	Faults *fault.Plan  // optional fault plan (recovery)
+}
+
+// DefaultConfig returns the values the tsim command starts from.
+func DefaultConfig() Config {
+	return Config{Dim: 3, N: 64, Rows: 100, Iters: 20, Reps: 1, Phases: 6, Seed: 1, Pad: 2 * sim.Second}
+}
+
+// Report is the uniform outcome of one workload run: wall measurements
+// off the simulated clock, operation and traffic totals, and the
+// engine-level kernel statistics, so every workload reports through one
+// shape regardless of what it computes.
+type Report struct {
+	Workload string             // registry name
+	Nodes    int                // processors used
+	Elapsed  sim.Duration       // simulated wall time
+	Flops    int64              // floating-point operations performed (nominal count)
+	Bytes    int64              // payload bytes carried by the serial links
+	Metrics  map[string]float64 // workload-specific named scalars
+	Kernel   sim.Stats          // engine metrics: events, parks, resource utilization
+	Summary  string             // one-line human-readable result
+}
+
+// MFLOPS is the achieved aggregate arithmetic rate.
+func (r Report) MFLOPS() float64 { return stats.MFLOPS(r.Flops, r.Elapsed) }
+
+// LinkMBps is the achieved aggregate link payload rate.
+func (r Report) LinkMBps() float64 { return stats.MBps(r.Bytes, r.Elapsed) }
+
+// String renders the report: the summary line plus the kernel metrics.
+func (r Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Summary)
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "\n  %-24s %.6g", k, r.Metrics[k])
+		}
+	}
+	fmt.Fprintf(&b, "\n  kernel: %s", r.Kernel)
+	return b.String()
+}
+
+// newReport seeds a Report with the fields every workload shares.
+func newReport(name string, nodes int, elapsed sim.Duration, flops int64, ks sim.Stats) Report {
+	return Report{
+		Workload: name,
+		Nodes:    nodes,
+		Elapsed:  elapsed,
+		Flops:    flops,
+		Bytes:    ks.Counters["link.bytes"],
+		Metrics:  map[string]float64{},
+		Kernel:   ks,
+	}
+}
+
+// Runner is one registered workload. Run must be deterministic for a
+// given Config (workloads build their own Kernel, so concurrent Runs on
+// distinct Configs are independent) and must return an error when the
+// workload's own verification fails.
+type Runner interface {
+	Name() string
+	Flags() []string // Config fields the workload consumes, as tsim flag names
+	Run(cfg Config) (Report, error)
+}
+
+// funcRunner adapts a plain function to the Runner interface.
+type funcRunner struct {
+	name  string
+	flags []string
+	run   func(Config) (Report, error)
+}
+
+func (f funcRunner) Name() string                   { return f.name }
+func (f funcRunner) Flags() []string                { return append([]string(nil), f.flags...) }
+func (f funcRunner) Run(cfg Config) (Report, error) { return f.run(cfg) }
+
+var registry = map[string]Runner{}
+
+// Register adds a workload to the registry; duplicate names are a
+// programming error.
+func Register(r Runner) {
+	if _, dup := registry[r.Name()]; dup {
+		panic("workloads: duplicate runner " + r.Name())
+	}
+	registry[r.Name()] = r
+}
+
+// RegisterFunc registers a workload implemented as a bare function.
+func RegisterFunc(name string, flags []string, run func(Config) (Report, error)) {
+	Register(funcRunner{name: name, flags: flags, run: run})
+}
+
+// Names lists the registered workloads in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get resolves a workload by name; the error lists the valid names.
+func Get(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	return r, nil
+}
+
+// Runners returns the registered workloads sorted by name.
+func Runners() []Runner {
+	rs := make([]Runner, 0, len(registry))
+	for _, n := range Names() {
+		rs = append(rs, registry[n])
+	}
+	return rs
+}
+
+// Deterministic input generators shared by the runners. Every workload
+// derives its inputs from Config.Seed through these, so a (name, Config)
+// pair fully determines a run.
+
+// randMat draws an n×n standard-normal matrix.
+func randMat(r *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = r.NormFloat64()
+		}
+	}
+	return m
+}
+
+// randMatDD draws an n×n matrix with a boosted diagonal, comfortably
+// nonsingular for factorisation workloads.
+func randMatDD(r *rand.Rand, n int) [][]float64 {
+	m := randMat(r, n)
+	for i := range m {
+		m[i][i] += float64(n)
+	}
+	return m
+}

@@ -27,6 +27,25 @@ type SAXPYResult struct {
 	Reps    int
 	Flops   int64
 	Elapsed sim.Duration
+	Stats   sim.Stats // engine metrics at completion
+}
+
+func init() {
+	RegisterFunc("saxpy", []string{"dim", "rows", "reps"}, func(cfg Config) (Report, error) {
+		reps := cfg.Reps
+		if reps < 1 {
+			reps = 1
+		}
+		res, err := DistributedSAXPY(cfg.Dim, cfg.Rows, reps)
+		if err != nil {
+			return Report{}, err
+		}
+		rep := newReport("saxpy", res.Nodes, res.Elapsed, res.Flops, res.Stats)
+		rep.Metrics["mflops"] = res.MFLOPS()
+		rep.Summary = fmt.Sprintf("SAXPY: %d nodes × %d rows: %v simulated, %.1f MFLOPS aggregate",
+			res.Nodes, res.Rows, res.Elapsed, res.MFLOPS())
+		return rep, nil
+	})
 }
 
 // MFLOPS is the achieved aggregate rate.
@@ -79,6 +98,7 @@ func DistributedSAXPY(dim, rowsPerNode, reps int) (SAXPYResult, error) {
 		return SAXPYResult{}, firstErr
 	}
 	res.Elapsed = sim.Duration(end)
+	res.Stats = k.Stats()
 	return res, nil
 }
 
@@ -125,5 +145,6 @@ func (b BusSAXPY) Run(procs, rowsPerProc, reps int) SAXPYResult {
 	}
 	end := k.Run(0)
 	res.Elapsed = sim.Duration(end)
+	res.Stats = k.Stats()
 	return res
 }

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"math/rand"
 
 	"tseries/internal/fparith"
 	"tseries/internal/memory"
@@ -16,6 +17,32 @@ type SortResult struct {
 	MoveTime sim.Duration // time spent physically moving records
 	Moves    int
 	Keys     []float64 // final key order, for verification
+	Stats    sim.Stats // engine metrics at completion
+}
+
+func init() {
+	RegisterFunc("sort", []string{"n", "seed"}, func(cfg Config) (Report, error) {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		keys := make([]float64, cfg.N)
+		for i := range keys {
+			keys[i] = r.NormFloat64()
+		}
+		res, err := SortRecords(cfg.N, keys, true)
+		if err != nil {
+			return Report{}, err
+		}
+		rep := newReport("sort", 1, res.Elapsed, 0, res.Stats)
+		for i := 1; i < len(res.Keys); i++ {
+			if res.Keys[i-1] > res.Keys[i] {
+				return rep, fmt.Errorf("workloads: sort keys out of order at %d", i)
+			}
+		}
+		rep.Metrics["moves"] = float64(res.Moves)
+		rep.Metrics["move_time_us"] = res.MoveTime.Seconds() * 1e6
+		rep.Summary = fmt.Sprintf("Sort %d records on 1 node: %v simulated, %d record moves (%v moving)",
+			res.Records, res.Elapsed, res.Moves, res.MoveTime)
+		return rep, nil
+	})
 }
 
 // SortRecords sorts fixed-size 1024-byte records by their leading 64-bit
@@ -110,6 +137,7 @@ func SortRecords(nRecords int, keys []float64, moveRows bool) (SortResult, error
 		return SortResult{}, firstErr
 	}
 	res.Elapsed = sim.Duration(end)
+	res.Stats = k.Stats()
 	res.Keys = make([]float64, nRecords)
 	for i := range res.Keys {
 		res.Keys[i] = nd.Mem.PeekF64((base + i) * memory.F64PerRow).Float64()

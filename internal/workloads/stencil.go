@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"math"
 
 	"tseries/internal/cube"
 	"tseries/internal/fparith"
@@ -16,6 +17,41 @@ type StencilResult struct {
 	Iters   int
 	Elapsed sim.Duration
 	Field   [][]float64 // final grid, for verification
+	Stats   sim.Stats   // engine metrics at completion
+}
+
+func init() {
+	RegisterFunc("stencil", []string{"dim", "n", "iters"}, func(cfg Config) (Report, error) {
+		grid := cfg.N
+		init := make([][]float64, grid)
+		for i := range init {
+			init[i] = make([]float64, grid)
+			init[i][0] = 100 // hot west wall
+		}
+		res, err := DistributedStencil(cfg.Dim/2, cfg.Dim-cfg.Dim/2, grid, init, cfg.Iters)
+		if err != nil {
+			return Report{}, err
+		}
+		// Nominal count: 1 multiply + 3 adds per interior point per sweep.
+		flops := int64(grid-2) * int64(grid-2) * 4 * int64(cfg.Iters)
+		rep := newReport("stencil", res.Nodes, res.Elapsed, flops, res.Stats)
+		want := HostStencil(grid, init, cfg.Iters)
+		maxErr := 0.0
+		for i := range want {
+			for j := range want[i] {
+				if e := math.Abs(res.Field[i][j] - want[i][j]); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+		rep.Metrics["max_error"] = maxErr
+		if maxErr > 1e-9 {
+			return rep, fmt.Errorf("workloads: stencil result off by %g", maxErr)
+		}
+		rep.Summary = fmt.Sprintf("Stencil %d×%d grid, %d sweeps on %d nodes: %v simulated",
+			res.Grid, res.Grid, res.Iters, res.Nodes, res.Elapsed)
+		return rep, nil
+	})
 }
 
 // DistributedStencil runs `iters` Jacobi sweeps of the 2-D Laplace
@@ -182,7 +218,7 @@ func DistributedStencil(dimX, dimY int, grid int, init [][]float64, iters int) (
 		return StencilResult{}, firstErr
 	}
 
-	res := StencilResult{Grid: grid, Nodes: len(m.Nodes), Iters: iters, Elapsed: sim.Duration(end)}
+	res := StencilResult{Grid: grid, Nodes: len(m.Nodes), Iters: iters, Elapsed: sim.Duration(end), Stats: k.Stats()}
 	res.Field = make([][]float64, grid)
 	for i := range res.Field {
 		res.Field[i] = make([]float64, grid)

@@ -19,7 +19,9 @@ import (
 	"tseries/internal/core"
 	"tseries/internal/fault"
 	"tseries/internal/machine"
+	"tseries/internal/sim"
 	"tseries/internal/stats"
+	"tseries/internal/workloads"
 )
 
 // System is a complete, runnable T Series configuration.
@@ -64,15 +66,58 @@ func New(dim int) (*System, error) { return core.NewSystem(dim) }
 // 14-cube wiring maximum.
 func SpecFor(dim int) (Spec, error) { return machine.SpecFor(dim) }
 
-// Experiments lists the full reproduction suite (E1..E16 plus the
-// ablations) in paper order.
+// WorkloadConfig carries every knob a workload can consume; see
+// DefaultWorkloadConfig for the starting values.
+type WorkloadConfig = workloads.Config
+
+// WorkloadReport is the uniform outcome of one workload run.
+type WorkloadReport = workloads.Report
+
+// KernelStats is the simulation engine's self-measurement: events
+// executed, processes spawned/finished, park/unpark counts, named
+// counters, and per-resource utilization.
+type KernelStats = sim.Stats
+
+// SweepPoint is one cube dimension of a workload sweep.
+type SweepPoint = core.SweepPoint
+
+// Experiments lists the full reproduction suite (E1..E17 plus the
+// ablations A1..A6) in paper order.
 func Experiments() []Experiment { return core.All() }
 
-// RunExperiment runs one experiment by ID ("E1".."E16", "A1".."A4").
+// RunExperiment runs one experiment by ID ("E1".."E17", "A1".."A6").
 func RunExperiment(id string) (*Result, error) {
 	e, err := core.Find(id)
 	if err != nil {
 		return nil, err
 	}
 	return e.Run()
+}
+
+// RunSuite runs the given experiments across `workers` host goroutines
+// (every experiment builds its own System, so runs are independent);
+// results come back in suite order, byte-identical to a serial run.
+func RunSuite(exps []Experiment, workers int) ([]*Result, error) {
+	return core.RunSuite(exps, workers)
+}
+
+// Workloads lists the registered workload names.
+func Workloads() []string { return workloads.Names() }
+
+// DefaultWorkloadConfig returns the values the tsim command starts from.
+func DefaultWorkloadConfig() WorkloadConfig { return workloads.DefaultConfig() }
+
+// RunWorkload runs one registered workload under the given Config.
+func RunWorkload(name string, cfg WorkloadConfig) (WorkloadReport, error) {
+	r, err := workloads.Get(name)
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+	return r.Run(cfg)
+}
+
+// RunSweep runs a workload at each cube dimension in dims across
+// `workers` goroutines, in deterministic dims order.
+func RunSweep(name string, base WorkloadConfig, dims []int, workers int) ([]SweepPoint, error) {
+	return core.RunSweep(name, base, dims, workers)
 }
