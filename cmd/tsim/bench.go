@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tseries/internal/bench"
+)
+
+// runBench emits the performance trajectory: kernel hot-path
+// micro-measurements to BENCH_kernel.json and the suite wall-clock sweep
+// to BENCH_suite.json, both under dir. When baseline names a previous
+// BENCH_kernel.json, any scenario whose ns/op regressed by more than 25%
+// fails the run — this is the CI gate.
+func runBench(stdout, stderr io.Writer, dir, baseline string, short bool) int {
+	const threshold = 1.25
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	fmt.Fprintln(stdout, "## kernel hot paths")
+	kt := bench.MeasureKernel(short)
+	for _, r := range kt.Results {
+		fmt.Fprintf(stdout, "  %-22s %10.1f ns/op %14.0f events/sec %8.2f allocs/op\n",
+			r.Name, r.NsPerOp, r.EventsPerSec, r.AllocsPerOp)
+	}
+	kernelPath := filepath.Join(dir, "BENCH_kernel.json")
+	if err := bench.WriteJSON(kernelPath, kt); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	fmt.Fprintln(stdout, "\n## suite trajectory")
+	st := bench.MeasureSuite(short)
+	for _, e := range st.Experiments {
+		if e.Error != "" {
+			fmt.Fprintf(stdout, "  %-4s %10.2f ms  ERROR %s\n", e.ID, float64(e.WallNs)/1e6, e.Error)
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-4s %10.2f ms\n", e.ID, float64(e.WallNs)/1e6)
+	}
+	for _, w := range st.Workloads {
+		if w.Error != "" {
+			fmt.Fprintf(stdout, "  %-9s %10.2f ms  ERROR %s\n", w.Name, float64(w.WallNs)/1e6, w.Error)
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-9s %10.2f ms %14.0f events/sec\n",
+			w.Name, float64(w.WallNs)/1e6, w.EventsPerSec)
+	}
+	fmt.Fprintf(stdout, "  total %.2f ms\n", float64(st.TotalWallNs)/1e6)
+	suitePath := filepath.Join(dir, "BENCH_suite.json")
+	if err := bench.WriteJSON(suitePath, st); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nwrote %s, %s\n", kernelPath, suitePath)
+
+	if baseline == "" {
+		return 0
+	}
+	base, err := bench.LoadKernelBaseline(baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cmp, regressed := bench.CompareKernel(base, kt, threshold)
+	fmt.Fprintf(stdout, "\n## vs baseline %s (gate: ns/op ratio > %.2f)\n", baseline, threshold)
+	for _, c := range cmp {
+		verdict := "ok"
+		if c.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(stdout, "  %-22s %10.1f -> %10.1f ns/op  x%.2f  %s\n",
+			c.Name, c.OldNsPerOp, c.NewNsPerOp, c.Ratio, verdict)
+	}
+	if regressed {
+		fmt.Fprintln(stderr, "tsim: kernel benchmark regression vs baseline")
+		return 1
+	}
+	return 0
+}

@@ -13,6 +13,8 @@
 //	tsim -workload matmul -dim 2 -n 64 -json
 //	tsim -workload fft    -sweep dim=1..5 -n 1024 -parallel 4
 //	tsim -workload recovery -dim 2 -phases 6 -faults seed=7,ber=1e-6,crash=2@12s -ckpt 8s
+//	tsim -bench -short -benchdir . -bench-baseline BENCH_kernel.json
+//	tsim -experiment all -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,6 +46,12 @@ func run(stdout, stderr io.Writer, args []string) int {
 	sweep := fs.String("sweep", "", `sweep the workload across cube sizes, e.g. "dim=2..6"`)
 	parallel := fs.Int("parallel", 1, "worker goroutines for multi-run invocations (<1: one per CPU)")
 	jsonOut := fs.Bool("json", false, "emit results as JSON")
+	benchMode := fs.Bool("bench", false, "measure kernel hot paths and suite wall-clock; write BENCH_kernel.json and BENCH_suite.json")
+	benchDir := fs.String("benchdir", ".", "directory for -bench output files")
+	benchBaseline := fs.String("bench-baseline", "", "previous BENCH_kernel.json; with -bench, exit 1 if ns/op regressed >25%")
+	short := fs.Bool("short", false, "with -bench, use a reduced measurement budget (CI smoke)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 
 	cfg := workloads.DefaultConfig()
 	fs.IntVar(&cfg.Dim, "dim", cfg.Dim, "cube dimension (2^dim nodes)")
@@ -69,10 +78,32 @@ func run(stdout, stderr io.Writer, args []string) int {
 		cfg.Faults = plan
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(stderr, *memprofile)
+	}
+
 	switch {
 	case *list:
 		printLists(stdout)
 		return 0
+	case *benchMode:
+		return runBench(stdout, stderr, *benchDir, *benchBaseline, *short)
 	case *experiment != "":
 		return runExperiments(stdout, stderr, *experiment, *parallel, *jsonOut)
 	case *workload != "":
@@ -82,6 +113,20 @@ func run(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintln(stderr)
 		printLists(stderr)
 		return 2
+	}
+}
+
+// writeMemProfile snapshots the heap at exit. A failure to write the
+// profile must not change the run's exit code, so it only warns.
+func writeMemProfile(stderr io.Writer, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(stderr, err)
 	}
 }
 

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -85,6 +87,139 @@ func TestWorkloadJSONRoundTrips(t *testing.T) {
 	}
 	if rep.Workload != "saxpy" || rep.Nodes != 2 || rep.Elapsed <= 0 || rep.Kernel.Events == 0 {
 		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+// TestExperimentAllGolden pins the full-suite JSON output to a
+// checked-in golden file. The kernel guarantees deterministic event
+// ordering, so any byte of drift here is a scheduling-order regression,
+// not noise. Regenerate (after an intentional semantic change) with:
+//
+//	go run ./cmd/tsim -experiment all -json > cmd/tsim/testdata/experiment_all_golden.json
+func TestExperimentAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite is too slow for -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "experiment_all_golden.json"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	code, stdout, stderr := runCLI(t, "-experiment", "all", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if stdout == string(want) {
+		return
+	}
+	got := []byte(stdout)
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	lo, hi := i-60, i+60
+	if lo < 0 {
+		lo = 0
+	}
+	ctx := func(b []byte) string {
+		h := hi
+		if h > len(b) {
+			h = len(b)
+		}
+		if lo >= h {
+			return ""
+		}
+		return string(b[lo:h])
+	}
+	t.Fatalf("output differs from golden at byte %d (got %d bytes, want %d)\n got: …%q…\nwant: …%q…",
+		i, len(got), len(want), ctx(got), ctx(want))
+}
+
+// TestBenchWritesTrajectories exercises the -bench path end to end:
+// both JSON documents land in -benchdir, parse, and carry the expected
+// schemas, and a generous baseline passes the regression gate.
+func TestBenchWritesTrajectories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench mode times the full suite; too slow for -short")
+	}
+	dir := t.TempDir()
+	// A baseline so slow nothing can regress against it.
+	baseline := filepath.Join(dir, "baseline.json")
+	base := map[string]interface{}{
+		"schema": "tseries-bench-kernel/v1",
+		"results": []map[string]interface{}{
+			{"name": "at_now", "ns_per_op": 1e9},
+			{"name": "park_unpark", "ns_per_op": 1e9},
+		},
+	}
+	raw, _ := json.Marshal(base)
+	if err := os.WriteFile(baseline, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-bench", "-short", "-benchdir", dir, "-bench-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\n%s", code, stderr, stdout)
+	}
+	var kt struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"results"`
+	}
+	kb, err := os.ReadFile(filepath.Join(dir, "BENCH_kernel.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(kb, &kt); err != nil {
+		t.Fatalf("BENCH_kernel.json: %v", err)
+	}
+	if kt.Schema != "tseries-bench-kernel/v1" || len(kt.Results) < 7 {
+		t.Fatalf("unexpected kernel trajectory: schema=%q results=%d", kt.Schema, len(kt.Results))
+	}
+	for _, r := range kt.Results {
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s: ns_per_op = %g", r.Name, r.NsPerOp)
+		}
+	}
+	var st struct {
+		Schema      string                   `json:"schema"`
+		Experiments []map[string]interface{} `json:"experiments"`
+		Workloads   []map[string]interface{} `json:"workloads"`
+	}
+	sb, err := os.ReadFile(filepath.Join(dir, "BENCH_suite.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatalf("BENCH_suite.json: %v", err)
+	}
+	if st.Schema != "tseries-bench-suite/v1" || len(st.Experiments) == 0 || len(st.Workloads) == 0 {
+		t.Fatalf("unexpected suite trajectory: schema=%q exps=%d wls=%d",
+			st.Schema, len(st.Experiments), len(st.Workloads))
+	}
+	if !strings.Contains(stdout, "vs baseline") {
+		t.Fatalf("expected a baseline comparison section:\n%s", stdout)
+	}
+}
+
+// TestProfileFlagsWriteFiles checks -cpuprofile/-memprofile wrap a
+// normal run and leave non-empty pprof files behind.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, stderr := runCLI(t, "-workload", "sort", "-n", "32", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }
 

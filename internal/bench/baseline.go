@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteJSON renders v as indented JSON (with a trailing newline) at path.
+func WriteJSON(path string, v interface{}) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadKernelBaseline reads a BENCH_kernel.json document.
+func LoadKernelBaseline(path string) (KernelTrajectory, error) {
+	var t KernelTrajectory
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(b, &t); err != nil {
+		return t, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if t.Schema != KernelSchema {
+		return t, fmt.Errorf("bench: %s has schema %q, want %q", path, t.Schema, KernelSchema)
+	}
+	return t, nil
+}
+
+// Comparison is one scenario's baseline-vs-current verdict.
+type Comparison struct {
+	Name       string
+	OldNsPerOp float64
+	NewNsPerOp float64
+	Ratio      float64 // new/old; >1 is slower
+	Regressed  bool
+}
+
+// CompareKernel checks each current result against the baseline result
+// of the same name, flagging any scenario whose ns/op grew beyond
+// threshold (e.g. 1.25 = fail on >25% regression). Scenarios present on
+// only one side are skipped — adding a benchmark must not fail the gate.
+// The second return is true when anything regressed.
+func CompareKernel(baseline, current KernelTrajectory, threshold float64) ([]Comparison, bool) {
+	old := make(map[string]KernelResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		old[r.Name] = r
+	}
+	var out []Comparison
+	regressed := false
+	for _, r := range current.Results {
+		b, ok := old[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		c := Comparison{
+			Name:       r.Name,
+			OldNsPerOp: b.NsPerOp,
+			NewNsPerOp: r.NsPerOp,
+			Ratio:      r.NsPerOp / b.NsPerOp,
+		}
+		c.Regressed = c.Ratio > threshold
+		regressed = regressed || c.Regressed
+		out = append(out, c)
+	}
+	return out, regressed
+}

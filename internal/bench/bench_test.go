@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestMeasureKernelScenariosProduceSaneNumbers runs every scenario at a
+// tiny time budget and checks the derived figures are self-consistent.
+func TestMeasureKernelScenariosProduceSaneNumbers(t *testing.T) {
+	for _, s := range kernelScenarios() {
+		r := measure(s.name, time.Millisecond, s.run)
+		if r.Name != s.name {
+			t.Fatalf("result name %q, want %q", r.Name, s.name)
+		}
+		if r.Iters < 256 || r.NsPerOp <= 0 || r.WallNs <= 0 {
+			t.Fatalf("%s: implausible result %+v", s.name, r)
+		}
+		if r.Events < r.Iters/8 {
+			t.Fatalf("%s: only %d kernel events for %d ops", s.name, r.Events, r.Iters)
+		}
+		if r.EventsPerSec <= 0 {
+			t.Fatalf("%s: events/sec = %g", s.name, r.EventsPerSec)
+		}
+	}
+}
+
+func TestKernelTrajectoryRoundTripsAndCompares(t *testing.T) {
+	base := KernelTrajectory{
+		Schema: KernelSchema,
+		Results: []KernelResult{
+			{Name: "at_now", NsPerOp: 10},
+			{Name: "park_unpark", NsPerOp: 100},
+			{Name: "removed_scenario", NsPerOp: 5},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	if err := WriteJSON(path, base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKernelBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := KernelTrajectory{
+		Schema: KernelSchema,
+		Results: []KernelResult{
+			{Name: "at_now", NsPerOp: 12},        // +20%: inside the gate
+			{Name: "park_unpark", NsPerOp: 130},  // +30%: regression
+			{Name: "added_scenario", NsPerOp: 1}, // no baseline: skipped
+		},
+	}
+	cmp, regressed := CompareKernel(loaded, cur, 1.25)
+	if !regressed {
+		t.Fatal("expected a regression verdict")
+	}
+	if len(cmp) != 2 {
+		t.Fatalf("got %d comparisons, want 2 (added/removed scenarios skip)", len(cmp))
+	}
+	if cmp[0].Name != "at_now" || cmp[0].Regressed {
+		t.Fatalf("at_now: %+v", cmp[0])
+	}
+	if cmp[1].Name != "park_unpark" || !cmp[1].Regressed {
+		t.Fatalf("park_unpark: %+v", cmp[1])
+	}
+}
+
+func TestLoadKernelBaselineRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteJSON(path, KernelTrajectory{Schema: "something-else/v9"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadKernelBaseline(path); err == nil {
+		t.Fatal("want schema error")
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"time"
+
+	"tseries/internal/core"
+	"tseries/internal/workloads"
+)
+
+// SuiteSchema identifies the BENCH_suite.json document shape.
+const SuiteSchema = "tseries-bench-suite/v1"
+
+// ExperimentTiming is one experiment's wall-clock cost.
+type ExperimentTiming struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	WallNs int64  `json:"wall_ns"`
+	Error  string `json:"error,omitempty"`
+}
+
+// WorkloadTiming is one workload's wall-clock cost plus the engine-rate
+// figures that make it a kernel-throughput probe: how many simulation
+// events the run executed and how fast the host chewed through them.
+type WorkloadTiming struct {
+	Name         string  `json:"name"`
+	WallNs       int64   `json:"wall_ns"`
+	SimElapsedPs int64   `json:"sim_elapsed_ps"`
+	KernelEvents int64   `json:"kernel_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// SuiteTrajectory is the BENCH_suite.json document: the serial wall-clock
+// trajectory of the full experiment registry and every registered
+// workload at its default configuration.
+type SuiteTrajectory struct {
+	Schema      string             `json:"schema"`
+	Short       bool               `json:"short"`
+	TotalWallNs int64              `json:"total_wall_ns"`
+	Experiments []ExperimentTiming `json:"experiments"`
+	Workloads   []WorkloadTiming   `json:"workloads"`
+}
+
+// MeasureSuite times every experiment and workload serially (parallel
+// runs would measure scheduler contention, not per-run cost). Failures
+// are recorded per entry rather than aborting, so a broken experiment
+// still yields a complete trajectory. short is recorded for provenance;
+// the suite is already cheap enough to run whole.
+func MeasureSuite(short bool) SuiteTrajectory {
+	t := SuiteTrajectory{Schema: SuiteSchema, Short: short}
+	for _, e := range core.All() {
+		t0 := time.Now()
+		_, err := e.Run()
+		et := ExperimentTiming{ID: e.ID, Title: e.Title, WallNs: time.Since(t0).Nanoseconds()}
+		if err != nil {
+			et.Error = err.Error()
+		}
+		t.TotalWallNs += et.WallNs
+		t.Experiments = append(t.Experiments, et)
+	}
+	cfg := workloads.DefaultConfig()
+	for _, r := range workloads.Runners() {
+		t0 := time.Now()
+		rep, err := r.Run(cfg)
+		wall := time.Since(t0)
+		wt := WorkloadTiming{Name: r.Name(), WallNs: wall.Nanoseconds()}
+		if err != nil {
+			wt.Error = err.Error()
+		} else {
+			wt.SimElapsedPs = int64(rep.Elapsed)
+			wt.KernelEvents = rep.Kernel.Events
+			if secs := wall.Seconds(); secs > 0 {
+				wt.EventsPerSec = float64(rep.Kernel.Events) / secs
+			}
+		}
+		t.TotalWallNs += wt.WallNs
+		t.Workloads = append(t.Workloads, wt)
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+package sim
+
+import "container/heap"
+
+// event is one future-time queue entry: a kernel callback (fn) or a
+// process to resume (proc). Events with equal times fire in the order
+// they were scheduled (seq breaks ties), which keeps the simulation
+// deterministic. Records are pooled by the kernel (see Kernel.newEvent),
+// so steady-state scheduling allocates nothing.
+type event struct {
+	at   Time
+	seq  int64
+	fn   func()
+	proc *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Calendar wheel geometry. Most future events in this simulator land
+// within a few microseconds of the clock (bit times, DMA startups, cycle
+// waits), so the wheel spans ≈67 µs in 256 buckets of ≈262 ns. Events
+// beyond the span — checkpoint timers, fault injections — wait in a
+// binary-heap overflow and cascade into the wheel as it turns.
+const (
+	bucketShift = 18 // bucket width exponent: 2^18 ps ≈ 262 ns
+	bucketWidth = Duration(1) << bucketShift
+	numBuckets  = 256
+	bucketMask  = numBuckets - 1
+	wheelSpan   = Duration(numBuckets) << bucketShift
+)
+
+// calendarQueue orders future-time events by (at, seq). It is a timer
+// wheel of small per-bucket heaps plus a binary-heap overflow:
+//
+//   - push is O(log b) into the bucket covering the event's window
+//     (b = bucket population, typically a handful), or O(log n) into the
+//     overflow when the event lies beyond the wheel span;
+//   - peek/pop read the cursor bucket's heap top, advancing the cursor
+//     across empty buckets and cascading due overflow events as the
+//     window slides;
+//   - when the wheel drains entirely, the window jumps straight to the
+//     overflow's earliest instant, so sparse horizons (seconds between
+//     checkpoints) degrade to plain binary-heap behaviour instead of
+//     spinning the wheel.
+//
+// Ordering is identical to a single binary heap keyed on (at, seq):
+// bucket windows partition time, equal instants share a bucket, and each
+// bucket is itself (at, seq)-ordered — so every pop returns the global
+// minimum. The zero value is ready to use: the first push drags the
+// window to its instant.
+type calendarQueue struct {
+	buckets  [numBuckets]eventHeap
+	cur      int  // cursor: index of the bucket whose window starts at `start`
+	start    Time // window start of buckets[cur]
+	wheelEnd Time // start + wheelSpan: first instant beyond the wheel
+	inWheel  int  // events resident in buckets
+	overflow eventHeap
+	size     int // inWheel + len(overflow)
+}
+
+// push inserts an event. Events earlier than the current window start
+// (possible after a jump) clamp to the cursor bucket, whose heap keeps
+// them ordered.
+func (q *calendarQueue) push(e *event) {
+	q.size++
+	if e.at >= q.wheelEnd {
+		if q.size == 1 {
+			// Queue was empty: drag the window so e lands in the wheel.
+			q.start = e.at
+			q.wheelEnd = e.at.Add(wheelSpan)
+			heap.Push(&q.buckets[q.cur], e)
+			q.inWheel++
+			return
+		}
+		heap.Push(&q.overflow, e)
+		return
+	}
+	off := int64(e.at-q.start) >> bucketShift
+	if off < 0 {
+		off = 0
+	}
+	heap.Push(&q.buckets[(q.cur+int(off))&bucketMask], e)
+	q.inWheel++
+}
+
+// peek positions the cursor on the bucket holding the earliest event and
+// returns that event without removing it. Returns nil when empty.
+func (q *calendarQueue) peek() *event {
+	if q.size == 0 {
+		return nil
+	}
+	for len(q.buckets[q.cur]) == 0 {
+		if q.inWheel == 0 {
+			// Wheel drained: jump the window to the overflow's earliest
+			// instant — the sparse-horizon fallback.
+			q.start = q.overflow[0].at
+			q.wheelEnd = q.start.Add(wheelSpan)
+			q.migrate()
+			continue
+		}
+		q.cur = (q.cur + 1) & bucketMask
+		q.start = q.start.Add(bucketWidth)
+		q.wheelEnd = q.wheelEnd.Add(bucketWidth)
+		if len(q.overflow) > 0 {
+			q.migrate()
+		}
+	}
+	return q.buckets[q.cur][0]
+}
+
+// migrate cascades overflow events that now fall inside the wheel window
+// into their buckets.
+func (q *calendarQueue) migrate() {
+	for len(q.overflow) > 0 && q.overflow[0].at < q.wheelEnd {
+		e := heap.Pop(&q.overflow).(*event)
+		off := int64(e.at-q.start) >> bucketShift
+		if off < 0 {
+			off = 0
+		}
+		heap.Push(&q.buckets[(q.cur+int(off))&bucketMask], e)
+		q.inWheel++
+	}
+}
+
+// popCurrent removes and returns the cursor bucket's earliest event. It
+// must follow a peek (or dueNow) that proved the bucket non-empty.
+func (q *calendarQueue) popCurrent() *event {
+	e := heap.Pop(&q.buckets[q.cur]).(*event)
+	q.inWheel--
+	q.size--
+	return e
+}
+
+// dueNow returns the earliest queued event if it is due at exactly `now`,
+// else nil. Events due at the current instant can only live in the cursor
+// bucket (they were scheduled while their instant was still future, and
+// the cursor never passes a non-empty bucket), so this is O(1).
+func (q *calendarQueue) dueNow(now Time) *event {
+	if b := q.buckets[q.cur]; len(b) > 0 && b[0].at == now {
+		return b[0]
+	}
+	return nil
+}

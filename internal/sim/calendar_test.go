@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarMatchesReferenceOrder drives the calendar queue with random
+// push/pop sequences and checks every pop against a brute-force reference
+// minimum by (at, seq). The delta classes are chosen to hit each structural
+// path: within-bucket inserts, wheel-spanning inserts, overflow inserts
+// that cascade back in via migrate, dense near-now ties, and the
+// empty-queue window jump.
+func TestCalendarMatchesReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var q calendarQueue
+		var model []*event
+		var now Time
+		var seq int64
+
+		pop := func() {
+			e := q.peek()
+			if e == nil {
+				t.Fatalf("trial %d: peek nil with %d modeled events", trial, len(model))
+			}
+			best := 0
+			for i, m := range model {
+				if m.at < model[best].at || (m.at == model[best].at && m.seq < model[best].seq) {
+					best = i
+				}
+			}
+			want := model[best]
+			model = append(model[:best], model[best+1:]...)
+			if e != want {
+				t.Fatalf("trial %d: popped (at=%d seq=%d), want (at=%d seq=%d)",
+					trial, e.at, e.seq, want.at, want.seq)
+			}
+			if e.at < now {
+				t.Fatalf("trial %d: time went backwards: %d < %d", trial, e.at, now)
+			}
+			now = e.at
+			q.popCurrent()
+			if q.size != len(model) {
+				t.Fatalf("trial %d: size %d, model %d", trial, q.size, len(model))
+			}
+
+			// dueNow must agree with the model: it returns the head event
+			// exactly when that event's instant equals the clock.
+			due := q.dueNow(now)
+			var wantDue *event
+			for _, m := range model {
+				if m.at == now && (wantDue == nil || m.seq < wantDue.seq) {
+					wantDue = m
+				}
+			}
+			if due != wantDue {
+				t.Fatalf("trial %d: dueNow(%d) = %v, want %v", trial, now, due, wantDue)
+			}
+		}
+
+		for op := 0; op < 2000; op++ {
+			if len(model) > 0 && rng.Intn(3) == 0 {
+				pop()
+				continue
+			}
+			var d Duration
+			switch rng.Intn(4) {
+			case 0:
+				d = Duration(1 + rng.Int63n(int64(bucketWidth))) // within a bucket or two
+			case 1:
+				d = Duration(1 + rng.Int63n(int64(wheelSpan))) // anywhere in the wheel
+			case 2:
+				d = wheelSpan + Duration(rng.Int63n(int64(10*wheelSpan))) // overflow
+			case 3:
+				d = Duration(1 + rng.Int63n(4)) // dense near-now, forcing (at, seq) ties
+			}
+			seq++
+			e := &event{at: now.Add(d), seq: seq}
+			q.push(e)
+			model = append(model, e)
+		}
+		for len(model) > 0 {
+			pop()
+		}
+		if q.peek() != nil {
+			t.Fatalf("trial %d: queue not empty after draining model", trial)
+		}
+	}
+}
+
+// TestSameInstantLaneZeroAllocs is the regression gate for the fast lane:
+// scheduling and running events at the current instant must not allocate
+// once the lane ring has grown to size. This is what keeps unpark, Yield,
+// and spawn-at-now off the garbage collector entirely.
+func TestSameInstantLaneZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	for i := 0; i < 128; i++ { // pre-grow the ring
+		k.At(k.Now(), fn)
+	}
+	k.Run(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			k.At(k.Now(), fn)
+		}
+		k.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("same-instant lane: %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// TestFutureEventsZeroAllocsSteadyState checks the event pool: once the
+// free list and bucket heaps are warm, future-time scheduling recycles
+// records instead of allocating.
+func TestFutureEventsZeroAllocsSteadyState(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the pool and bucket capacity
+		k.At(k.Now().Add(Duration(i+1)*Nanosecond), fn)
+	}
+	k.Run(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			k.At(k.Now().Add(Duration(i+1)*Nanosecond), fn)
+		}
+		k.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled future events: %.1f allocs/run, want 0", allocs)
+	}
+}

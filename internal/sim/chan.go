@@ -11,11 +11,21 @@ type Chan struct {
 	cap  int
 	buf  []interface{}
 
-	sendq []*chanWaiter
-	recvq []*chanWaiter
+	sendq []*waiter
+	recvq []*waiter
+
+	// Park reasons, precomputed so blocking never concatenates strings.
+	sendReason, recvReason string
 }
 
-type chanWaiter struct {
+// waiter is a process's wait-queue record for channel and resource
+// blocks. A process blocks on at most one operation at a time, so one
+// record per process (embedded in Proc) serves every queue without
+// allocating; each blocking site re-initialises the fields it uses. A
+// killed process's record may linger in a queue — queues tolerate dead
+// entries by checking p.dead — and is never reused, because a dead
+// process never blocks again.
+type waiter struct {
 	p   *Proc
 	val interface{} // value being sent, or value received
 	ok  bool        // handshake completed
@@ -24,7 +34,8 @@ type chanWaiter struct {
 
 // NewChan creates a channel. capacity 0 gives rendezvous semantics.
 func NewChan(k *Kernel, name string, capacity int) *Chan {
-	return &Chan{k: k, name: name, cap: capacity}
+	return &Chan{k: k, name: name, cap: capacity,
+		sendReason: "send " + name, recvReason: "recv " + name}
 }
 
 // Name returns the channel's name.
@@ -34,7 +45,7 @@ func (c *Chan) Name() string { return c.name }
 func (c *Chan) Len() int { return len(c.buf) }
 
 // dropDead removes killed processes from the front of a wait queue.
-func dropDead(q []*chanWaiter) []*chanWaiter {
+func dropDead(q []*waiter) []*waiter {
 	for len(q) > 0 && q[0].p.dead {
 		q = q[1:]
 	}
@@ -58,11 +69,13 @@ func (c *Chan) Send(p *Proc, v interface{}) {
 		c.buf = append(c.buf, v)
 		return
 	}
-	w := &chanWaiter{p: p, val: v}
+	w := &p.w
+	w.val, w.ok, w.ch = v, false, nil
 	c.sendq = append(c.sendq, w)
 	for !w.ok {
-		p.park("send " + c.name)
+		p.park(c.sendReason)
 	}
+	w.val = nil
 }
 
 // Recv blocks p until a value is available and returns it.
@@ -89,12 +102,15 @@ func (c *Chan) Recv(p *Proc) interface{} {
 		w.p.unpark()
 		return w.val
 	}
-	w := &chanWaiter{p: p}
+	w := &p.w
+	w.val, w.ok, w.ch = nil, false, nil
 	c.recvq = append(c.recvq, w)
 	for !w.ok {
-		p.park("recv " + c.name)
+		p.park(c.recvReason)
 	}
-	return w.val
+	v := w.val
+	w.val = nil
+	return v
 }
 
 // TryRecv returns a value if one is immediately available.
@@ -140,7 +156,8 @@ func Select(p *Proc, chans ...*Chan) (int, interface{}) {
 			}
 		}
 		// Register as a receiver on every channel; first sender wins.
-		w := &chanWaiter{p: p}
+		w := &p.w
+		w.val, w.ok, w.ch = nil, false, nil
 		for _, c := range chans {
 			c.recvq = append(c.recvq, w)
 		}
@@ -157,10 +174,14 @@ func Select(p *Proc, chans ...*Chan) (int, interface{}) {
 		if w.ok {
 			for i, c := range chans {
 				if c == w.ch {
-					return i, w.val
+					v := w.val
+					w.val = nil
+					return i, v
 				}
 			}
-			return -1, w.val
+			v := w.val
+			w.val = nil
+			return -1, v
 		}
 		// Spurious wakeup (e.g. killed race): loop and retry.
 	}

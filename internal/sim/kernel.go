@@ -1,70 +1,78 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
-
-// event is a scheduled callback. Events with equal times fire in the order
-// they were scheduled (seq breaks ties), which keeps the simulation
-// deterministic.
-type event struct {
-	at  Time
-	seq int64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+import "fmt"
 
 // Kernel is a deterministic discrete-event scheduler. Exactly one process
 // goroutine runs at any instant; the kernel regains control whenever a
 // process blocks, so process bodies may touch shared simulator state
 // without locks.
 //
+// Internally the kernel keeps three event stores, chosen per schedule:
+//
+//   - the same-instant lane: a FIFO ring for events scheduled at the
+//     current instant (unpark, Yield, spawn — the vast majority), which
+//     bypass the priority queue entirely;
+//   - a calendar wheel for near-future events (see calendarQueue);
+//   - a binary-heap overflow for events beyond the wheel span.
+//
+// Future-time event records come from a free list, so steady-state
+// simulation allocates nothing per event. Control transfers between
+// processes are direct goroutine handoffs: the goroutine giving up the
+// execution slot dispatches the next events itself and wakes the next
+// process's goroutine with a single channel send, instead of bouncing
+// every transfer through the kernel goroutine.
+//
 // The zero value is not usable; call NewKernel.
 type Kernel struct {
-	now     Time
-	queue   eventHeap
-	seq     int64
-	yielded chan struct{} // a running process signals here when it parks or exits
-	procs   int           // live (not yet finished) processes
+	now Time
+	seq int64 // tie-break for future-time events
+
+	// Same-instant fast lane: a power-of-two ring buffer, FIFO.
+	lane     []laneSlot
+	laneHead int
+	laneLen  int
+
+	q    calendarQueue // future-time events
+	pool []*event      // free list of future-time event records
+
+	limit        Time        // horizon of the active Run (< 0: none)
+	stopped      bool        //
+	pendingPanic interface{} // process-body panic awaiting re-delivery on the kernel goroutine
+
+	yielded chan struct{} // the hand-off chain signals here when the kernel goroutine must take over
+	procs   int           // live (not yet finished) non-daemon processes
 	running *Proc         // process currently executing, nil in kernel context
-	stopped bool
 	tracef  func(format string, args ...interface{})
 
 	// Execution metrics (see Stats) and the optional observer surface.
-	events    int64
-	spawned   int64
-	finished  int64
-	parks     int64
-	unparks   int64
-	maxQueue  int
-	counters  map[string]int64
-	resources []*Resource
-	observer  Observer
+	events      int64
+	spawned     int64
+	finished    int64
+	parks       int64
+	unparks     int64
+	maxQueue    int
+	counters    map[string]int64
+	counterKeys []string // cache of the counters' keys; sorted on demand
+	keysDirty   bool     // counterKeys needs a re-sort (new key inserted)
+	resources   []*Resource
+	observer    Observer
+}
+
+// laneSlot is one same-instant event: a kernel callback or a process to
+// resume. Slots live in the lane ring by value, so the fast path performs
+// no per-event allocation at all.
+type laneSlot struct {
+	fn   func()
+	proc *Proc
 }
 
 // NewKernel returns an empty simulation at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yielded: make(chan struct{})}
+	return &Kernel{
+		yielded:  make(chan struct{}),
+		limit:    -1,
+		counters: make(map[string]int64, 16),
+	}
 }
 
 // Now reports the current simulated time.
@@ -79,18 +87,101 @@ func (k *Kernel) trace(format string, args ...interface{}) {
 	}
 }
 
+// pushLane appends a same-instant event to the FIFO ring.
+func (k *Kernel) pushLane(fn func(), p *Proc) {
+	if k.laneLen == len(k.lane) {
+		k.growLane()
+	}
+	k.lane[(k.laneHead+k.laneLen)&(len(k.lane)-1)] = laneSlot{fn, p}
+	k.laneLen++
+	if n := k.laneLen + k.q.size; n > k.maxQueue {
+		k.maxQueue = n
+	}
+}
+
+func (k *Kernel) growLane() {
+	n := len(k.lane) * 2
+	if n == 0 {
+		n = 64
+	}
+	fresh := make([]laneSlot, n)
+	for i := 0; i < k.laneLen; i++ {
+		fresh[i] = k.lane[(k.laneHead+i)&(len(k.lane)-1)]
+	}
+	k.lane = fresh
+	k.laneHead = 0
+}
+
+func (k *Kernel) popLane() laneSlot {
+	s := k.lane[k.laneHead]
+	k.lane[k.laneHead] = laneSlot{} // release references
+	k.laneHead = (k.laneHead + 1) & (len(k.lane) - 1)
+	k.laneLen--
+	return s
+}
+
+// newEvent takes a future-time event record off the free list.
+func (k *Kernel) newEvent(t Time, fn func(), p *Proc) *event {
+	k.seq++
+	var e *event
+	if n := len(k.pool); n > 0 {
+		e = k.pool[n-1]
+		k.pool = k.pool[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at, e.seq, e.fn, e.proc = t, k.seq, fn, p
+	return e
+}
+
+// freeEvent returns an executed record to the free list.
+func (k *Kernel) freeEvent(e *event) {
+	e.fn, e.proc = nil, nil
+	k.pool = append(k.pool, e)
+}
+
 // At schedules fn to run in kernel context at absolute time t. fn must not
 // block; it may schedule further events and unblock processes. Scheduling
 // in the past is an error.
 func (k *Kernel) At(t Time, fn func()) {
+	if t == k.now {
+		k.pushLane(fn, nil)
+		return
+	}
+	k.atFuture(t, fn, nil)
+}
+
+// atFuture inserts a strictly-future event into the calendar queue.
+func (k *Kernel) atFuture(t Time, fn func(), p *Proc) {
 	if t < k.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, k.now))
+		panicPast(t, k.now)
 	}
-	k.seq++
-	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
-	if len(k.queue) > k.maxQueue {
-		k.maxQueue = len(k.queue)
+	k.q.push(k.newEvent(t, fn, p))
+	if n := k.laneLen + k.q.size; n > k.maxQueue {
+		k.maxQueue = n
 	}
+}
+
+// atProc schedules process p to resume at time t.
+func (k *Kernel) atProc(t Time, p *Proc) {
+	if t == k.now {
+		k.pushLane(nil, p)
+		return
+	}
+	k.atFuture(t, nil, p)
+}
+
+// panicPast and panicDeadlock keep their fmt calls out of the schedule
+// and run hot paths so those stay small enough to inline.
+//
+//go:noinline
+func panicPast(t, now Time) {
+	panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, now))
+}
+
+//go:noinline
+func panicDeadlock(now Time, procs int) {
+	panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with no pending events", now, procs))
 }
 
 // After schedules fn to run in kernel context d from now.
@@ -112,39 +203,135 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Run panics if the queue drains while processes are still blocked: that
 // is a deadlock in the simulated system.
 func (k *Kernel) Run(horizon Duration) Time {
-	limit := Time(-1)
+	k.limit = -1
 	if horizon > 0 {
-		limit = k.now.Add(horizon)
+		k.limit = k.now.Add(horizon)
 	}
 	k.stopped = false
-	for !k.stopped {
-		if len(k.queue) == 0 {
-			if k.procs > 0 {
-				panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with no pending events", k.now, k.procs))
+	k.dispatch(nil)
+	if r := k.pendingPanic; r != nil {
+		k.pendingPanic = nil
+		panic(r)
+	}
+	if k.stopped {
+		return k.now
+	}
+	if k.laneLen == 0 && k.q.size == 0 {
+		if k.procs > 0 {
+			panicDeadlock(k.now, k.procs)
+		}
+		return k.now
+	}
+	// Events remain beyond the horizon: advance the clock to it.
+	k.now = k.limit
+	return k.now
+}
+
+// dispatch executes ready events on the calling goroutine — the current
+// holder of the execution slot. It is the single scheduling loop for both
+// the kernel goroutine and parking processes:
+//
+//   - self == nil (kernel goroutine, from Run): runs until the simulation
+//     must end (drain, horizon, Stop, pending panic), handing the slot to
+//     process goroutines and waiting on k.yielded for it to come back.
+//   - self != nil (a process giving up the slot): runs until the next
+//     event resumes self — then returns true and the caller just keeps
+//     executing, with no channel operation at all — or until the slot has
+//     been handed to another goroutine, returning false so the caller
+//     blocks on its resume channel. This direct handoff transfers control
+//     between processes with a single channel send instead of two
+//     rendezvous through the kernel goroutine.
+//
+// Ordering: queued future-time events that have become due at the current
+// instant were scheduled before anything now in the lane, so they run
+// first; the lane then drains FIFO. This reproduces exactly the global
+// (time, sequence) order of a single priority queue.
+func (k *Kernel) dispatch(self *Proc) bool {
+	for {
+		if k.stopped || k.pendingPanic != nil {
+			return k.endDispatch(self)
+		}
+		var fn func()
+		var next *Proc
+		if k.laneLen > 0 {
+			if e := k.q.dueNow(k.now); e != nil {
+				fn, next = e.fn, e.proc
+				k.q.popCurrent()
+				k.freeEvent(e)
+			} else {
+				s := k.popLane()
+				fn, next = s.fn, s.proc
 			}
-			break
+		} else {
+			e := k.q.peek()
+			if e == nil {
+				return k.endDispatch(self)
+			}
+			if k.limit >= 0 && e.at > k.limit {
+				return k.endDispatch(self)
+			}
+			k.now = e.at
+			fn, next = e.fn, e.proc
+			k.q.popCurrent()
+			k.freeEvent(e)
 		}
-		next := k.queue[0].at
-		if limit >= 0 && next > limit {
-			k.now = limit
-			break
-		}
-		e := heap.Pop(&k.queue).(*event)
-		k.now = e.at
-		e.fn()
 		k.events++
 		if k.observer != nil {
 			k.observer.Event(k.now)
 		}
+		if next != nil {
+			if next.done {
+				continue // stale resume for a finished process
+			}
+			if next == self {
+				return true
+			}
+			k.running = next
+			next.resume <- struct{}{}
+			if self != nil {
+				return false
+			}
+			<-k.yielded
+			continue
+		}
+		if self == nil {
+			fn()
+			continue
+		}
+		if !k.guardedFn(fn) {
+			k.yielded <- struct{}{}
+			return false
+		}
 	}
-	return k.now
+}
+
+// endDispatch ends a dispatch loop: a process goroutine wakes the kernel
+// goroutine, which re-evaluates the stop conditions in Run.
+func (k *Kernel) endDispatch(self *Proc) bool {
+	if self != nil {
+		k.yielded <- struct{}{}
+	}
+	return false
+}
+
+// guardedFn runs a kernel callback on a process goroutine. A panic in the
+// callback must not unwind the innocent process's stack, so it is caught
+// and re-armed for delivery on the kernel goroutine (Run re-panics).
+func (k *Kernel) guardedFn(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.pendingPanic = r
+		}
+	}()
+	fn()
+	return true
 }
 
 // Idle reports whether no events are pending and no processes are live.
-func (k *Kernel) Idle() bool { return len(k.queue) == 0 && k.procs == 0 }
+func (k *Kernel) Idle() bool { return k.laneLen == 0 && k.q.size == 0 && k.procs == 0 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.laneLen + k.q.size }
 
 // killed is the panic value used to unwind a killed process.
 type killed struct{ name string }
@@ -161,6 +348,7 @@ type Proc struct {
 	done    bool
 	waiting string // what the process is blocked on, for deadlock reports
 	onExit  []func()
+	w       waiter // reusable wait-queue record (channel and resource blocks)
 }
 
 // Go spawns a process that begins executing fn at the current time.
@@ -177,6 +365,7 @@ func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
 
 func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{}), daemon: daemon}
+	p.w.p = p
 	if !daemon {
 		k.procs++
 	}
@@ -197,36 +386,30 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 			if r != nil {
 				if _, ok := r.(killed); ok {
 					k.trace("proc %s killed at %v", p.name, k.now)
+				} else {
+					// A real bug in a process body: re-arm it on the
+					// kernel goroutine so Run panics with it.
+					k.pendingPanic = r
 					k.yielded <- struct{}{}
 					return
 				}
-				// A real bug in a process body: re-deliver on the
-				// kernel goroutine so tests see it.
-				k.After(0, func() { panic(r) })
 			}
-			k.yielded <- struct{}{}
+			// The exiting goroutine keeps dispatching: the slot moves
+			// straight to the next runnable process.
+			k.dispatch(p)
 		}()
 		k.trace("proc %s start at %v", p.name, k.now)
 		fn(p)
 	}()
-	k.At(k.now, func() { p.run() })
+	k.atProc(k.now, p)
 	return p
-}
-
-// run transfers control from the kernel to the process until it parks or
-// exits. Called only in kernel context.
-func (p *Proc) run() {
-	if p.done {
-		return
-	}
-	p.k.running = p
-	p.resume <- struct{}{}
-	<-p.k.yielded
-	p.k.running = nil
 }
 
 // park suspends the process until something calls unpark. It must only be
 // called from the process goroutine while it holds the execution slot.
+// Rather than returning the slot to the kernel goroutine, the parking
+// process dispatches the next events itself; if the very next runnable
+// event is its own resume, park returns without any channel traffic.
 func (p *Proc) park(what string) {
 	p.waiting = what
 	p.k.parks++
@@ -234,8 +417,9 @@ func (p *Proc) park(what string) {
 		p.k.observer.Park(p, what)
 	}
 	p.k.running = nil
-	p.k.yielded <- struct{}{}
-	<-p.resume
+	if !p.k.dispatch(p) {
+		<-p.resume
+	}
 	p.waiting = ""
 	p.k.running = p
 	if p.dead {
@@ -243,14 +427,14 @@ func (p *Proc) park(what string) {
 	}
 }
 
-// unpark schedules the process to resume at the current time. Kernel
-// context only.
+// unpark schedules the process to resume at the current time, on the
+// same-instant lane. Kernel context only.
 func (p *Proc) unpark() {
 	p.k.unparks++
 	if p.k.observer != nil {
 		p.k.observer.Unpark(p)
 	}
-	p.k.At(p.k.now, func() { p.run() })
+	p.k.pushLane(nil, p)
 }
 
 // Name returns the process name given to Go.
@@ -277,14 +461,14 @@ func (p *Proc) Wait(d Duration) {
 	if d == 0 {
 		return
 	}
-	p.k.At(p.k.now.Add(d), func() { p.run() })
+	p.k.atFuture(p.k.now.Add(d), nil, p)
 	p.park("wait")
 }
 
 // Yield cedes the execution slot until all other events at the current
 // instant have run.
 func (p *Proc) Yield() {
-	p.k.At(p.k.now, func() { p.run() })
+	p.k.pushLane(nil, p)
 	p.park("yield")
 }
 

@@ -9,16 +9,13 @@ type Resource struct {
 	name  string
 	total int
 	inUse int
-	queue []*resWaiter
+	queue []*waiter
 
 	// Accounting for utilisation reports.
 	busy      Duration // integrated units-in-use over time
 	lastStamp Time
-}
 
-type resWaiter struct {
-	p  *Proc
-	ok bool
+	acqReason string // precomputed park reason for the blocking path
 }
 
 // NewResource creates a resource with the given number of units and
@@ -27,7 +24,7 @@ func NewResource(k *Kernel, name string, units int) *Resource {
 	if units <= 0 {
 		panic("sim: resource needs at least one unit")
 	}
-	r := &Resource{k: k, name: name, total: units}
+	r := &Resource{k: k, name: name, total: units, acqReason: "acquire " + name}
 	k.resources = append(k.resources, r)
 	return r
 }
@@ -54,7 +51,8 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	w := &resWaiter{p: p}
+	w := &p.w
+	w.ok = false
 	r.queue = append(r.queue, w)
 	defer func() {
 		if v := recover(); v != nil {
@@ -65,7 +63,7 @@ func (r *Resource) Acquire(p *Proc) {
 		}
 	}()
 	for !w.ok {
-		p.park("acquire " + r.name)
+		p.park(r.acqReason)
 	}
 }
 

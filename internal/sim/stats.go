@@ -28,6 +28,12 @@ type Stats struct {
 	// Resources holds one utilization snapshot per Resource created
 	// under this kernel, in creation order.
 	Resources []ResourceStats
+
+	// keys caches Counters' keys in sorted order, filled by
+	// Kernel.Stats so String need not re-sort per call. When it does not
+	// cover the map (hand-built or mutated snapshots), String falls back
+	// to sorting.
+	keys []string
 }
 
 // ResourceStats is one resource's utilization snapshot.
@@ -44,11 +50,14 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "events=%d procs=%d/%d parks=%d unparks=%d maxqueue=%d",
 		s.Events, s.Finished, s.Spawned, s.Parks, s.Unparks, s.MaxQueue)
-	keys := make([]string, 0, len(s.Counters))
-	for k := range s.Counters {
-		keys = append(keys, k)
+	keys := s.keys
+	if len(keys) != len(s.Counters) {
+		keys = make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 	}
-	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Fprintf(&b, " %s=%d", k, s.Counters[k])
 	}
@@ -57,11 +66,12 @@ func (s Stats) String() string {
 
 // Observer receives kernel lifecycle callbacks as they happen; install
 // one with Kernel.SetObserver to trace or profile a run without touching
-// component code. Callbacks run in kernel context (or, for Park, on the
-// process goroutine while it still holds the execution slot), so they
-// must not block.
+// component code. Callbacks run on whichever goroutine holds the
+// execution slot at that moment (the kernel goroutine or a process
+// goroutine mid-handoff) — never concurrently — and must not block.
 type Observer interface {
-	// Event fires after each executed event.
+	// Event fires as each event is dispatched, exactly once per executed
+	// event.
 	Event(at Time)
 	// Park fires when a process blocks; reason is what it is waiting on.
 	Park(p *Proc, reason string)
@@ -75,12 +85,26 @@ func (k *Kernel) SetObserver(o Observer) { k.observer = o }
 
 // Count adds delta to the named component counter. Components use this
 // to publish quantities (bytes moved, frames sent) that runs report
-// uniformly through Stats without bespoke plumbing.
+// uniformly through Stats without bespoke plumbing. The counters map is
+// pre-sized at kernel construction; the sorted key cache is invalidated
+// only when a new name first appears, so the steady-state increment is a
+// single map write.
 func (k *Kernel) Count(name string, delta int64) {
-	if k.counters == nil {
-		k.counters = map[string]int64{}
+	if _, seen := k.counters[name]; !seen {
+		k.counterKeys = append(k.counterKeys, name)
+		k.keysDirty = true
 	}
 	k.counters[name] += delta
+}
+
+// sortedCounterKeys returns the counters' keys in sorted order, re-sorting
+// the cache only after an insert dirtied it.
+func (k *Kernel) sortedCounterKeys() []string {
+	if k.keysDirty {
+		sort.Strings(k.counterKeys)
+		k.keysDirty = false
+	}
+	return k.counterKeys
 }
 
 // Counter reads a named component counter (0 if never counted).
@@ -102,6 +126,7 @@ func (k *Kernel) Stats() Stats {
 		for name, v := range k.counters {
 			s.Counters[name] = v
 		}
+		s.keys = append([]string(nil), k.sortedCounterKeys()...)
 	}
 	for _, r := range k.resources {
 		s.Resources = append(s.Resources, ResourceStats{
