@@ -13,9 +13,13 @@ import (
 // micro-measurements to BENCH_kernel.json and the suite wall-clock sweep
 // to BENCH_suite.json, both under dir. When baseline names a previous
 // BENCH_kernel.json, any scenario whose ns/op regressed by more than 25%
-// fails the run — this is the CI gate.
-func runBench(stdout, stderr io.Writer, dir, baseline string, short bool) int {
+// fails the run; when suiteBaseline names a previous BENCH_suite.json,
+// any workload whose whole-run wall-clock grew more than 3x fails too —
+// the coarse gate that pins the recovery workloads' end-to-end cost.
+// Together these are the CI gate.
+func runBench(stdout, stderr io.Writer, dir, baseline, suiteBaseline string, short bool) int {
 	const threshold = 1.25
+	const suiteThreshold = 3.0
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -58,27 +62,48 @@ func runBench(stdout, stderr io.Writer, dir, baseline string, short bool) int {
 	}
 	fmt.Fprintf(stdout, "\nwrote %s, %s\n", kernelPath, suitePath)
 
-	if baseline == "" {
-		return 0
-	}
-	base, err := bench.LoadKernelBaseline(baseline)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	cmp, regressed := bench.CompareKernel(base, kt, threshold)
-	fmt.Fprintf(stdout, "\n## vs baseline %s (gate: ns/op ratio > %.2f)\n", baseline, threshold)
-	for _, c := range cmp {
-		verdict := "ok"
-		if c.Regressed {
-			verdict = "REGRESSED"
+	code := 0
+	if baseline != "" {
+		base, err := bench.LoadKernelBaseline(baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Fprintf(stdout, "  %-22s %10.1f -> %10.1f ns/op  x%.2f  %s\n",
-			c.Name, c.OldNsPerOp, c.NewNsPerOp, c.Ratio, verdict)
+		cmp, regressed := bench.CompareKernel(base, kt, threshold)
+		fmt.Fprintf(stdout, "\n## vs baseline %s (gate: ns/op ratio > %.2f)\n", baseline, threshold)
+		for _, c := range cmp {
+			verdict := "ok"
+			if c.Regressed {
+				verdict = "REGRESSED"
+			}
+			fmt.Fprintf(stdout, "  %-22s %10.1f -> %10.1f ns/op  x%.2f  %s\n",
+				c.Name, c.OldNsPerOp, c.NewNsPerOp, c.Ratio, verdict)
+		}
+		if regressed {
+			fmt.Fprintln(stderr, "tsim: kernel benchmark regression vs baseline")
+			code = 1
+		}
 	}
-	if regressed {
-		fmt.Fprintln(stderr, "tsim: kernel benchmark regression vs baseline")
-		return 1
+	if suiteBaseline != "" {
+		base, err := bench.LoadSuiteBaseline(suiteBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		cmp, regressed := bench.CompareSuite(base, st, suiteThreshold)
+		fmt.Fprintf(stdout, "\n## vs suite baseline %s (gate: wall-clock ratio > %.2f)\n", suiteBaseline, suiteThreshold)
+		for _, c := range cmp {
+			verdict := "ok"
+			if c.Regressed {
+				verdict = "REGRESSED"
+			}
+			fmt.Fprintf(stdout, "  %-9s %10.2f -> %10.2f ms  x%.2f  %s\n",
+				c.Name, c.OldNsPerOp/1e6, c.NewNsPerOp/1e6, c.Ratio, verdict)
+		}
+		if regressed {
+			fmt.Fprintln(stderr, "tsim: suite wall-clock regression vs baseline")
+			code = 1
+		}
 	}
-	return 0
+	return code
 }

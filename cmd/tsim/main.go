@@ -13,7 +13,8 @@
 //	tsim -workload matmul -dim 2 -n 64 -json
 //	tsim -workload fft    -sweep dim=1..5 -n 1024 -parallel 4
 //	tsim -workload recovery -dim 2 -phases 6 -faults seed=7,ber=1e-6,crash=2@12s -ckpt 8s
-//	tsim -bench -short -benchdir . -bench-baseline BENCH_kernel.json
+//	tsim -workload soak -dim 3 -reps 2 -phases 2 -chaos seed=7,dur=60s,crashes=2
+//	tsim -bench -short -benchdir . -bench-baseline BENCH_kernel.json -bench-suite-baseline BENCH_suite.json
 //	tsim -experiment all -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -49,6 +50,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 	benchMode := fs.Bool("bench", false, "measure kernel hot paths and suite wall-clock; write BENCH_kernel.json and BENCH_suite.json")
 	benchDir := fs.String("benchdir", ".", "directory for -bench output files")
 	benchBaseline := fs.String("bench-baseline", "", "previous BENCH_kernel.json; with -bench, exit 1 if ns/op regressed >25%")
+	benchSuiteBaseline := fs.String("bench-suite-baseline", "", "previous BENCH_suite.json; with -bench, exit 1 if a workload's wall-clock grew >3x (recovery-workload gate)")
 	short := fs.Bool("short", false, "with -bench, use a reduced measurement budget (CI smoke)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
@@ -62,6 +64,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 	fs.IntVar(&cfg.Phases, "phases", cfg.Phases, "recovery workload phases")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "input generator seed")
 	faults := fs.String("faults", "", "fault plan, e.g. seed=7,ber=1e-6,crash=2@12s,down=0.1@5s+2s,flip=1:4096.3@9s,disk=0.5@14s")
+	chaos := fs.String("chaos", "", "randomized chaos recipe for -workload soak, e.g. seed=7,dur=60s,crashes=2,hangs=1")
 	ckpt := fs.Duration("ckpt", 0, "periodic checkpoint interval for -workload recovery (0 = initial checkpoint only)")
 	pad := fs.Duration("pad", time.Duration(cfg.Pad/sim.Nanosecond)*time.Nanosecond, "per-phase synthetic compute time for -workload recovery")
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +79,14 @@ func run(stdout, stderr io.Writer, args []string) int {
 			return 2
 		}
 		cfg.Faults = plan
+	}
+	if *chaos != "" {
+		recipe, err := fault.ParseChaos(*chaos)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		cfg.Chaos = recipe
 	}
 
 	if *cpuprofile != "" {
@@ -103,7 +114,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		printLists(stdout)
 		return 0
 	case *benchMode:
-		return runBench(stdout, stderr, *benchDir, *benchBaseline, *short)
+		return runBench(stdout, stderr, *benchDir, *benchBaseline, *benchSuiteBaseline, *short)
 	case *experiment != "":
 		return runExperiments(stdout, stderr, *experiment, *parallel, *jsonOut)
 	case *workload != "":

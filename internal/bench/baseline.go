@@ -69,3 +69,54 @@ func CompareKernel(baseline, current KernelTrajectory, threshold float64) ([]Com
 	}
 	return out, regressed
 }
+
+// LoadSuiteBaseline reads a BENCH_suite.json document.
+func LoadSuiteBaseline(path string) (SuiteTrajectory, error) {
+	var t SuiteTrajectory
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(b, &t); err != nil {
+		return t, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if t.Schema != SuiteSchema {
+		return t, fmt.Errorf("bench: %s has schema %q, want %q", path, t.Schema, SuiteSchema)
+	}
+	return t, nil
+}
+
+// CompareSuite checks each current workload's wall-clock against the
+// baseline entry of the same name, flagging any whose time grew beyond
+// threshold. Wall-clock for a whole workload run is far noisier than a
+// ns/op micro-measurement, so the threshold should be generous (≈3.0) —
+// the gate exists to catch order-of-magnitude blowups like a recovery
+// path that suddenly replays the whole run per fault, not 10% drift.
+// Entries present on only one side, or that errored, are skipped.
+// The second return is true when anything regressed.
+func CompareSuite(baseline, current SuiteTrajectory, threshold float64) ([]Comparison, bool) {
+	old := make(map[string]WorkloadTiming, len(baseline.Workloads))
+	for _, w := range baseline.Workloads {
+		if w.Error == "" {
+			old[w.Name] = w
+		}
+	}
+	var out []Comparison
+	regressed := false
+	for _, w := range current.Workloads {
+		b, ok := old[w.Name]
+		if !ok || w.Error != "" || b.WallNs <= 0 {
+			continue
+		}
+		c := Comparison{
+			Name:       w.Name,
+			OldNsPerOp: float64(b.WallNs),
+			NewNsPerOp: float64(w.WallNs),
+			Ratio:      float64(w.WallNs) / float64(b.WallNs),
+		}
+		c.Regressed = c.Ratio > threshold
+		regressed = regressed || c.Regressed
+		out = append(out, c)
+	}
+	return out, regressed
+}

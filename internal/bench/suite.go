@@ -21,13 +21,17 @@ type ExperimentTiming struct {
 // WorkloadTiming is one workload's wall-clock cost plus the engine-rate
 // figures that make it a kernel-throughput probe: how many simulation
 // events the run executed and how fast the host chewed through them.
+// Metrics carries the workload's own named scalars (rollbacks, remaps,
+// recovery_ms, …) so the trajectory pins recovery behavior, not just
+// speed.
 type WorkloadTiming struct {
-	Name         string  `json:"name"`
-	WallNs       int64   `json:"wall_ns"`
-	SimElapsedPs int64   `json:"sim_elapsed_ps"`
-	KernelEvents int64   `json:"kernel_events"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Error        string  `json:"error,omitempty"`
+	Name         string             `json:"name"`
+	WallNs       int64              `json:"wall_ns"`
+	SimElapsedPs int64              `json:"sim_elapsed_ps"`
+	KernelEvents int64              `json:"kernel_events"`
+	EventsPerSec float64            `json:"events_per_sec"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	Error        string             `json:"error,omitempty"`
 }
 
 // SuiteTrajectory is the BENCH_suite.json document: the serial wall-clock
@@ -71,6 +75,12 @@ func MeasureSuite(short bool) SuiteTrajectory {
 			wt.KernelEvents = rep.Kernel.Events
 			if secs := wall.Seconds(); secs > 0 {
 				wt.EventsPerSec = float64(rep.Kernel.Events) / secs
+			}
+			if len(rep.Metrics) > 0 {
+				wt.Metrics = make(map[string]float64, len(rep.Metrics))
+				for k, v := range rep.Metrics {
+					wt.Metrics[k] = v
+				}
 			}
 		}
 		t.TotalWallNs += wt.WallNs

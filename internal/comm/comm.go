@@ -31,6 +31,11 @@ type Network struct {
 	Dim   int
 	Nodes []*node.Node
 	eps   []*Endpoint
+
+	// routes is the cached live-graph routing table (see route.go). It
+	// is only consulted when some channel is down or some node crashed;
+	// a healthy network routes pure e-cube without ever building it.
+	routes *routeTable
 }
 
 // Endpoint is one node's interface to the network.
@@ -250,16 +255,44 @@ func (e *Endpoint) route(p *sim.Proc, raw []byte, arriveDim int) {
 	}
 }
 
-// forward picks the outbound channel for a message to dst and sends it,
-// falling back across the candidate order when channels are dead. The
-// fault-free path is pure e-cube: the first candidate is the lowest
-// differing dimension and its channel is up, so exactly one Send runs.
+// forward picks the outbound channel for a message to dst and sends it.
+// On a healthy network the choice is pure e-cube: the lowest differing
+// dimension, whose channel is up, so exactly one Send runs. With any
+// channel down or node crashed, the choice comes from the live-graph
+// next-hop table instead, which either lies on a shortest live path or
+// proves the destination unreachable (a typed UnreachableError).
 func (e *Endpoint) forward(p *sim.Proc, raw []byte, dst, arriveDim int) error {
 	diff := e.id ^ dst
 	bumpHops(raw)
-	var lastErr error
-	for _, d := range e.candidates(dst, arriveDim) {
-		err := e.nd.Sublink(CubeSublink(d)).Send(p, raw)
+	t := e.net.refreshRoutes()
+	if t.healthy {
+		var lastErr error
+		for _, d := range e.candidates(dst, arriveDim) {
+			err := e.nd.Sublink(CubeSublink(d)).Send(p, raw)
+			if err == nil {
+				if diff&(1<<uint(d)) == 0 {
+					e.Detours++
+				}
+				return nil
+			}
+			if !link.IsDown(err) {
+				return err
+			}
+			lastErr = err
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("comm: node %d has no usable channel toward %d", e.id, dst)
+		}
+		return lastErr
+	}
+	// Damaged topology: follow the table, allowing one rebuild-and-retry
+	// if a channel died between the table build and this hop.
+	for attempt := 0; attempt < 2; attempt++ {
+		d := t.nextHop[e.id][dst]
+		if d < 0 {
+			return &UnreachableError{Src: e.id, Dst: dst}
+		}
+		err := e.nd.Sublink(CubeSublink(int(d))).Send(p, raw)
 		if err == nil {
 			if diff&(1<<uint(d)) == 0 {
 				e.Detours++
@@ -269,12 +302,9 @@ func (e *Endpoint) forward(p *sim.Proc, raw []byte, dst, arriveDim int) error {
 		if !link.IsDown(err) {
 			return err
 		}
-		lastErr = err
+		t = e.net.refreshRoutes()
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("comm: node %d has no usable channel toward %d", e.id, dst)
-	}
-	return lastErr
+	return &UnreachableError{Src: e.id, Dst: dst}
 }
 
 // candidates lists outbound dimensions to try, in deterministic

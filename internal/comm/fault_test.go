@@ -2,6 +2,8 @@ package comm
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"tseries/internal/fparith"
@@ -160,5 +162,105 @@ func TestCrashRepairRestoresFastPath(t *testing.T) {
 		if v != 6 {
 			t.Fatalf("node %d sum = %g, want 6", id, v)
 		}
+	}
+}
+
+// TestManyDeadLinksProperty is the detour property test: across many
+// seeded trials, a random set of simultaneously dead channels is cut
+// out of a 3-cube, reachability is computed independently on the host,
+// and then every ordered pair is exercised — pairs the live graph still
+// connects must deliver intact (however crooked the route), and pairs
+// it has partitioned must fail at the origin with a typed
+// UnreachableError. Nothing may be silently dropped en route.
+func TestManyDeadLinksProperty(t *testing.T) {
+	const dim = 3
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			k, net := buildNet(t, dim)
+			rng := rand.New(rand.NewSource(seed))
+			// Cut 2..7 of the 12 edges. Each edge is (node, dim) with the
+			// lower endpoint naming it; SetDown on one end downs both ways.
+			type edge struct{ nd, d int }
+			var edges []edge
+			for n := 0; n < net.Size(); n++ {
+				for d := 0; d < dim; d++ {
+					if n < n^(1<<uint(d)) {
+						edges = append(edges, edge{n, d})
+					}
+				}
+			}
+			rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+			dead := edges[:2+rng.Intn(6)]
+			for _, e := range dead {
+				net.Nodes[e.nd].Sublink(CubeSublink(e.d)).SetDown(true)
+			}
+			// Host-side reachability over the live graph.
+			reach := make([][]bool, net.Size())
+			for src := range reach {
+				reach[src] = make([]bool, net.Size())
+				seen := map[int]bool{src: true}
+				queue := []int{src}
+				for len(queue) > 0 {
+					u := queue[0]
+					queue = queue[1:]
+					reach[src][u] = true
+					for d := 0; d < dim; d++ {
+						v := u ^ (1 << uint(d))
+						if !seen[v] && net.Nodes[u].Sublink(CubeSublink(d)).Up() {
+							seen[v] = true
+							queue = append(queue, v)
+						}
+					}
+				}
+			}
+			// Exercise every ordered pair concurrently, one tag per pair.
+			type verdict struct {
+				delivered bool
+				err       error
+			}
+			verdicts := make(map[[2]int]*verdict)
+			for src := 0; src < net.Size(); src++ {
+				for dst := 0; dst < net.Size(); dst++ {
+					if src == dst {
+						continue
+					}
+					src, dst := src, dst
+					v := &verdict{}
+					verdicts[[2]int{src, dst}] = v
+					tag := src*64 + dst
+					payload := []byte{byte(src), byte(dst), byte(seed)}
+					if reach[src][dst] {
+						k.Go(fmt.Sprintf("rx%d-%d", src, dst), func(p *sim.Proc) {
+							from, got := net.Endpoint(dst).Recv(p, tag)
+							v.delivered = from == src && bytes.Equal(got, payload)
+						})
+					}
+					k.Go(fmt.Sprintf("tx%d-%d", src, dst), func(p *sim.Proc) {
+						v.err = net.Endpoint(src).Send(p, dst, tag, payload)
+					})
+				}
+			}
+			k.Run(0)
+			for pair, v := range verdicts {
+				src, dst := pair[0], pair[1]
+				if reach[src][dst] {
+					if v.err != nil || !v.delivered {
+						t.Errorf("reachable pair %d→%d: err=%v delivered=%v (dead: %v)",
+							src, dst, v.err, v.delivered, dead)
+					}
+				} else if !IsUnreachable(v.err) {
+					t.Errorf("partitioned pair %d→%d: got %v, want UnreachableError (dead: %v)",
+						src, dst, v.err, dead)
+				}
+			}
+			var drops int64
+			for id := 0; id < net.Size(); id++ {
+				drops += net.Endpoint(id).RouteDrops
+			}
+			if drops != 0 {
+				t.Errorf("%d messages silently dropped en route (dead: %v)", drops, dead)
+			}
+		})
 	}
 }

@@ -92,3 +92,20 @@ func Ring(n int) []int {
 	}
 	return out
 }
+
+// RingSkipping returns the Gray-code ring of an n-cube with the
+// positions for which skip returns true removed. Consecutive survivors
+// are no longer guaranteed adjacent — each omission splices a short
+// detour into the ring — but the order remains deterministic and
+// locality-preserving, which is what a workload needs when some
+// positions are held back as spares.
+func RingSkipping(n int, skip func(int) bool) []int {
+	size := Nodes(n)
+	out := make([]int, 0, size)
+	for i := 0; i < size; i++ {
+		if g := Gray(i); !skip(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}

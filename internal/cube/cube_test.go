@@ -335,3 +335,45 @@ func TestMeshSingleAxis(t *testing.T) {
 		}
 	}
 }
+
+func TestRingSkipping(t *testing.T) {
+	// With nothing skipped the skipping ring IS the Gray ring.
+	for n := 1; n <= 6; n++ {
+		full := RingSkipping(n, func(int) bool { return false })
+		want := Ring(n)
+		if len(full) != len(want) {
+			t.Fatalf("n=%d: full skipping ring has %d nodes, want %d", n, len(full), len(want))
+		}
+		for i := range want {
+			if full[i] != want[i] {
+				t.Fatalf("n=%d: position %d is %d, want %d", n, i, full[i], want[i])
+			}
+		}
+	}
+	// Skipping preserves Gray order and drops exactly the skipped nodes
+	// — the healer leans on this to keep surviving images in a stable
+	// relative order no matter which boards have been retired.
+	skip := map[int]bool{2: true, 7: true, 5: true}
+	ring := RingSkipping(3, func(i int) bool { return skip[i] })
+	if len(ring) != 5 {
+		t.Fatalf("ring has %d survivors, want 5: %v", len(ring), ring)
+	}
+	pos := map[int]int{}
+	for i, v := range ring {
+		if skip[v] {
+			t.Fatalf("skipped node %d survived: %v", v, ring)
+		}
+		pos[v] = i
+	}
+	full := Ring(3)
+	last := -1
+	for _, v := range full {
+		if skip[v] {
+			continue
+		}
+		if pos[v] <= last {
+			t.Fatalf("node %d out of Gray order in %v", v, ring)
+		}
+		last = pos[v]
+	}
+}

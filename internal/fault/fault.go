@@ -39,6 +39,11 @@ const (
 	// index) of module Module's system disk, leaving the recorded
 	// checksum stale.
 	DiskCorrupt
+	// Hang wedges node Node's processor: execution stops (so its
+	// progress word freezes) but links and heartbeat hardware stay
+	// alive. Hangs are inherently silent — only a detector watching
+	// published progress can find one.
+	Hang
 )
 
 func (k Kind) String() string {
@@ -53,6 +58,8 @@ func (k Kind) String() string {
 		return "flip"
 	case DiskCorrupt:
 		return "disk"
+	case Hang:
+		return "hang"
 	}
 	return "unknown"
 }
@@ -67,6 +74,10 @@ type Event struct {
 	Bit  uint // FlipBit: bit index 0..7
 	Mod  int  // DiskCorrupt: target module
 	Blk  int  // DiskCorrupt: block index into the sorted key list
+	// Silent suppresses the injector's courtesy notification to the
+	// supervisor: the fault happens, but nothing is told. Discovering
+	// silent faults is the failure detector's whole job.
+	Silent bool
 }
 
 // Plan is a complete fault scenario. The zero value injects nothing.

@@ -16,9 +16,23 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync/atomic"
 
 	"tseries/internal/sim"
 )
+
+// topoEpoch counts wiring and outage transitions across every link in
+// the process. Routing layers cache reachability tables against this
+// value: as long as it is unchanged, no channel anywhere has gone up,
+// down, or been rewired, so a cached table is still valid. It is a
+// process-wide atomic rather than per-kernel state so that it can be
+// bumped from SetDown without threading a kernel reference through
+// every call site; a bump caused by an unrelated kernel merely forces a
+// harmless table rebuild.
+var topoEpoch atomic.Int64
+
+// TopologyEpoch returns the current wiring/outage generation.
+func TopologyEpoch() int64 { return topoEpoch.Load() }
 
 // Protocol constants.
 const (
@@ -142,8 +156,15 @@ func (l *Link) SetInjector(inj Injector) { l.injector = inj }
 // SetDown severs (true) or restores (false) all four sublinks at once —
 // what a node crash or a physical cable fault does.
 func (l *Link) SetDown(down bool) {
+	changed := false
 	for _, sub := range l.subs {
-		sub.down = down
+		if sub.down != down {
+			sub.down = down
+			changed = true
+		}
+	}
+	if changed {
+		topoEpoch.Add(1)
 	}
 }
 
@@ -187,7 +208,29 @@ func Connect(a, b *Sublink) error {
 		return fmt.Errorf("link: sublink already connected (%s ↔ %s)", a.Name(), b.Name())
 	}
 	a.peer, b.peer = b, a
+	topoEpoch.Add(1)
 	return nil
+}
+
+// Rewire disconnects a and b from their current peers (if any) and
+// cross-wires them to each other. This is the maintenance operation
+// behind thread bypass: when a node on a module's system thread dies,
+// the chain is re-cabled around it by rewiring its upstream neighbor's
+// outbound sublink directly to its downstream neighbor's inbound one.
+// The orphaned peers are left unconnected.
+func Rewire(a, b *Sublink) error {
+	if a == b {
+		return fmt.Errorf("link: cannot rewire %s to itself", a.Name())
+	}
+	if a.peer != nil {
+		a.peer.peer = nil
+		a.peer = nil
+	}
+	if b.peer != nil {
+		b.peer.peer = nil
+		b.peer = nil
+	}
+	return Connect(a, b)
 }
 
 // Name identifies the sublink for tracing.
@@ -204,7 +247,12 @@ func (s *Sublink) Peer() *Sublink { return s.peer }
 // SetDown severs (true) or restores (false) this end of the channel.
 // While either end is down the wire carries no acknowledges, so every
 // send attempt on the pair times out.
-func (s *Sublink) SetDown(down bool) { s.down = down }
+func (s *Sublink) SetDown(down bool) {
+	if s.down != down {
+		s.down = down
+		topoEpoch.Add(1)
+	}
+}
 
 // Down reports whether this end has been severed.
 func (s *Sublink) Down() bool { return s.down }

@@ -31,14 +31,25 @@ type Supervisor struct {
 	// router activity settle after halting, before flushing state.
 	DrainTime sim.Duration
 
-	alarm     *sim.Chan
-	procs     []*sim.Proc
+	alarm *sim.Chan
+	procs []*sim.Proc
+	// hung marks boards wedged by a hang fault. The wedge is a property
+	// of the BOARD, not of whatever process happened to be running: a
+	// body spawned onto a hung board later (a hang that landed between
+	// restarts, or during boot) stops dead immediately.
+	hung      map[int]bool
 	lastSnaps []*module.Snapshot
 	prevSnaps []*module.Snapshot
 	lastCkpt  sim.Time
 
+	// det, when a Healer is attached, is suspended around checkpoints
+	// and recovery so the thread congestion they cause is not read as
+	// silence.
+	det *Detector
+
 	// Counters for FaultReport.
 	Crashes          int64
+	Hangs            int64
 	ParityFaults     int64
 	Rollbacks        int64
 	RestoreFallbacks int64
@@ -48,13 +59,16 @@ type Supervisor struct {
 	LastRecovery sim.Duration
 }
 
-// NewSupervisor attaches a recovery supervisor to a machine.
+// NewSupervisor attaches a recovery supervisor to a machine, taking its
+// policy from the machine's Spec.Recovery.
 func NewSupervisor(m *Machine) *Supervisor {
+	r := m.Spec.Recovery
 	return &Supervisor{
 		M:           m,
-		MaxRestarts: 4,
-		DrainTime:   500 * sim.Millisecond,
+		MaxRestarts: r.MaxRestarts,
+		DrainTime:   r.DrainTime,
 		alarm:       sim.NewChan(m.K, "supervisor/alarm", 1024),
+		hung:        map[int]bool{},
 	}
 }
 
@@ -66,23 +80,58 @@ func (sv *Supervisor) post(err error) {
 	})
 }
 
-// nodeCrashed is the fault injector's notification that a node died.
+// FaultSink receives fault-injection notifications. The Supervisor is
+// the standard sink; a nil sink means pure injection with no observer.
+type FaultSink interface {
+	// NodeCrashed reports that a node's board died. declared=false is a
+	// SILENT crash: the machine is not alarmed, and only a heartbeat
+	// failure detector can discover it.
+	NodeCrashed(id int, declared bool)
+	// NodeHung reports that a node's board wedged: it stops executing
+	// (and so stops advancing its progress word) but its links stay up
+	// and its heartbeat hardware keeps beating. Always silent.
+	NodeHung(id int)
+}
+
+// NodeCrashed is the fault injector's notification that a node died.
 // The node's application process is killed on the spot — its board
-// stopped executing — and the supervisor is alarmed.
-func (sv *Supervisor) nodeCrashed(id int) {
+// stopped executing. A declared crash also alarms the supervisor; an
+// undeclared one is left for the failure detector to find.
+func (sv *Supervisor) NodeCrashed(id int, declared bool) {
 	sv.Crashes++
+	sv.killBody(id)
+	if declared {
+		sv.post(&comm.CrashedError{Node: id})
+	}
+}
+
+// NodeHung wedges a node: its application process stops dead, but the
+// board keeps beating with a frozen progress word. Only a detector
+// watching progress can tell this from slow code.
+func (sv *Supervisor) NodeHung(id int) {
+	sv.Hangs++
+	sv.hung[id] = true
+	sv.killBody(id)
+}
+
+func (sv *Supervisor) killBody(id int) {
 	if id < len(sv.procs) {
 		if pr := sv.procs[id]; pr != nil && !pr.Done() {
 			pr.Kill()
 		}
 	}
-	sv.post(&comm.CrashedError{Node: id})
 }
 
 // Checkpoint snapshots every module now and makes it the rollback
 // target, keeping the previous snapshot as a fallback against disk
 // corruption.
 func (sv *Supervisor) Checkpoint(p *sim.Proc) error {
+	// A snapshot floods the module threads for seconds; a detector left
+	// watching would read the delayed beats as silence.
+	if sv.det != nil {
+		sv.det.Suspend()
+		defer sv.det.Resume()
+	}
 	snaps, err := sv.M.SnapshotAll(p)
 	if err != nil {
 		return err
@@ -139,10 +188,22 @@ func (sv *Supervisor) Run(p *sim.Proc, body func(bp *sim.Proc, id int) error) er
 			return nil
 		}
 		if restart >= sv.MaxRestarts {
+			sv.killBodies()
 			return fmt.Errorf("supervisor: giving up after %d restarts: %v", restart, faultErr)
 		}
 		if err := sv.recover(p); err != nil {
 			return err
+		}
+	}
+}
+
+// killBodies halts every outstanding body process. Give-up paths must
+// call this before abandoning a run: a body left blocked on a dead
+// peer's message would wedge the kernel drain as a phantom deadlock.
+func (sv *Supervisor) killBodies() {
+	for _, pr := range sv.procs {
+		if pr != nil && !pr.Done() {
+			pr.Kill()
 		}
 	}
 }
@@ -159,11 +220,7 @@ func (sv *Supervisor) noteFault(err error) {
 // restore, and clear stale alarms.
 func (sv *Supervisor) recover(p *sim.Proc) error {
 	start := p.Now()
-	for _, pr := range sv.procs {
-		if pr != nil && !pr.Done() {
-			pr.Kill()
-		}
-	}
+	sv.killBodies()
 	// A crash can land mid-checkpoint; abort the snapshot workers too,
 	// or a stale collector would swallow the chunks of later snapshots.
 	for _, mod := range sv.M.Modules {
@@ -183,6 +240,18 @@ func (sv *Supervisor) recover(p *sim.Proc) error {
 	}
 	// Rewind to the newest snapshot; if its blocks rotted on disk,
 	// fall back one generation.
+	if err := sv.restoreLatest(p); err != nil {
+		return err
+	}
+	sv.Rollbacks++
+	sv.drainAlarms()
+	sv.LastRecovery = p.Now().Sub(start)
+	return nil
+}
+
+// restoreLatest rewinds to the newest snapshot, falling back one
+// generation if its blocks rotted on disk.
+func (sv *Supervisor) restoreLatest(p *sim.Proc) error {
 	if err := sv.M.RestoreAll(p, sv.lastSnaps); err != nil {
 		sv.RestoreFallbacks++
 		if sv.prevSnaps == nil {
@@ -193,14 +262,15 @@ func (sv *Supervisor) recover(p *sim.Proc) error {
 			return fmt.Errorf("supervisor: fallback restore failed: %v", err)
 		}
 	}
-	sv.Rollbacks++
+	return nil
+}
+
+func (sv *Supervisor) drainAlarms() {
 	for {
 		if _, ok := sv.alarm.TryRecv(); !ok {
 			break
 		}
 	}
-	sv.LastRecovery = p.Now().Sub(start)
-	return nil
 }
 
 // ArmFaults attaches a fault plan to the machine: the plan's bit-error
@@ -208,6 +278,17 @@ func (sv *Supervisor) recover(p *sim.Proc) error {
 // and each timed event is scheduled on the kernel. sv may be nil when
 // no supervision is wanted (pure injection experiments).
 func (m *Machine) ArmFaults(plan *fault.Plan, sv *Supervisor) {
+	// The typed-nil guard matters: wrapping a nil *Supervisor in the
+	// interface would make sink != nil while every call panics.
+	var sink FaultSink
+	if sv != nil {
+		sink = sv
+	}
+	m.ArmFaultsSink(plan, sink)
+}
+
+// ArmFaultsSink is ArmFaults with an arbitrary fault observer.
+func (m *Machine) ArmFaultsSink(plan *fault.Plan, sink FaultSink) {
 	if plan == nil {
 		return
 	}
@@ -221,19 +302,23 @@ func (m *Machine) ArmFaults(plan *fault.Plan, sv *Supervisor) {
 	}
 	for _, ev := range plan.Events {
 		ev := ev
-		m.K.At(sim.Time(ev.At), func() { m.applyFault(ev, sv) })
+		m.K.At(sim.Time(ev.At), func() { m.applyFault(ev, sink) })
 	}
 }
 
 // applyFault executes one timed fault event.
-func (m *Machine) applyFault(ev fault.Event, sv *Supervisor) {
+func (m *Machine) applyFault(ev fault.Event, sink FaultSink) {
 	switch ev.Kind {
 	case fault.Crash:
 		if ev.Node < len(m.Nodes) && m.Nodes[ev.Node].Alive() {
 			m.Nodes[ev.Node].Crash()
-			if sv != nil {
-				sv.nodeCrashed(ev.Node)
+			if sink != nil {
+				sink.NodeCrashed(ev.Node, !ev.Silent)
 			}
+		}
+	case fault.Hang:
+		if ev.Node < len(m.Nodes) && m.Nodes[ev.Node].Alive() && sink != nil {
+			sink.NodeHung(ev.Node)
 		}
 	case fault.LinkDown, fault.LinkUp:
 		if ev.Node < len(m.Nodes) && ev.Dim < m.Dim {

@@ -1,0 +1,224 @@
+package module
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"tseries/internal/sim"
+)
+
+func beatFrame(slot int, prog uint32) []byte {
+	f := make([]byte, 6)
+	f[0] = kindBeat
+	f[1] = byte(slot)
+	binary.LittleEndian.PutUint32(f[2:6], prog)
+	return f
+}
+
+func TestNoteBeatLedger(t *testing.T) {
+	_, m := buildModule(t, 4)
+
+	// First beat at the boot progress value: counted, but not
+	// "advanced" — the word has not been seen to CHANGE yet.
+	m.noteBeat(sim.Time(100*sim.Millisecond), beatFrame(1, 0))
+	s := m.health.slots[1]
+	if s.Beats != 1 || s.Progress != 0 || s.Advanced {
+		t.Fatalf("after first beat: %+v", s)
+	}
+	if s.LastBeat != sim.Time(100*sim.Millisecond) || s.LastAdvance != s.LastBeat {
+		t.Fatalf("first-beat times wrong: %+v", s)
+	}
+
+	// Second beat, same progress: the gap seeds the EWMA; no advance.
+	m.noteBeat(sim.Time(200*sim.Millisecond), beatFrame(1, 0))
+	s = m.health.slots[1]
+	if s.EwmaGap != 100*sim.Millisecond {
+		t.Fatalf("EWMA seed = %v, want 100ms", s.EwmaGap)
+	}
+	if s.Advanced || s.LastAdvance != sim.Time(100*sim.Millisecond) {
+		t.Fatalf("frozen progress advanced the ledger: %+v", s)
+	}
+
+	// Third beat after a longer gap, progress bumped: EWMA smooths
+	// 7:1 toward history, and the advance is recorded.
+	m.noteBeat(sim.Time(500*sim.Millisecond), beatFrame(1, 6))
+	s = m.health.slots[1]
+	want := (7*100*sim.Millisecond + 300*sim.Millisecond) / 8
+	if s.EwmaGap != want {
+		t.Fatalf("EWMA = %v, want %v", s.EwmaGap, want)
+	}
+	if !s.Advanced || s.LastAdvance != sim.Time(500*sim.Millisecond) || s.Progress != 6 {
+		t.Fatalf("advance not recorded: %+v", s)
+	}
+
+	// Malformed frames change nothing: short, and out-of-range slot.
+	before := m.health.slots[1]
+	m.noteBeat(sim.Time(600*sim.Millisecond), []byte{kindBeat, 1})
+	m.noteBeat(sim.Time(600*sim.Millisecond), beatFrame(9, 1))
+	if m.health.slots[1] != before {
+		t.Fatal("malformed beat mutated the ledger")
+	}
+}
+
+func TestHealthSnapshotFlags(t *testing.T) {
+	_, m := buildModule(t, 4)
+	if err := m.SetSpare(3); err != nil {
+		t.Fatal(err)
+	}
+	m.Nodes[1].Crash()
+	if err := m.BypassSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	hs := m.HealthSnapshot()
+	if !hs.Slots[3].Spare || hs.Slots[3].Bypassed {
+		t.Fatalf("slot 3 flags: %+v", hs.Slots[3])
+	}
+	if !hs.Slots[1].Bypassed || hs.Slots[1].Spare {
+		t.Fatalf("slot 1 flags: %+v", hs.Slots[1])
+	}
+	if hs.Slots[0].Spare || hs.Slots[0].Bypassed {
+		t.Fatalf("slot 0 flags: %+v", hs.Slots[0])
+	}
+}
+
+func TestAcceptHealthWire(t *testing.T) {
+	_, m := buildModule(t, 2)
+	// Hand-build a kindHealth frame with one slot in every flag state.
+	msg := make([]byte, 12)
+	msg[0] = kindHealth
+	msg[1] = 0 // dst module
+	msg[2] = 3 // src module
+	binary.LittleEndian.PutUint64(msg[4:12], uint64(sim.Time(42*sim.Second)))
+	mk := func(beats int64, prog uint32, flags byte) []byte {
+		var b [slotSummaryBytes]byte
+		binary.LittleEndian.PutUint64(b[0:8], uint64(beats))
+		binary.LittleEndian.PutUint64(b[8:16], uint64(sim.Time(7*sim.Second)))
+		binary.LittleEndian.PutUint64(b[16:24], uint64(100*sim.Millisecond))
+		binary.LittleEndian.PutUint32(b[24:28], prog)
+		binary.LittleEndian.PutUint64(b[28:36], uint64(sim.Time(6*sim.Second)))
+		b[36] = flags
+		return b[:]
+	}
+	msg = append(msg, mk(10, 99, 1)...) // advanced
+	msg = append(msg, mk(11, 0, 2)...)  // bypassed
+	msg = append(msg, mk(12, 0, 4)...)  // spare
+	m.acceptHealth(msg)
+
+	hs, ok := m.PeerHealth(3)
+	if !ok || hs.Module != 3 || hs.Time != sim.Time(42*sim.Second) || len(hs.Slots) != 3 {
+		t.Fatalf("decoded summary: ok=%v %+v", ok, hs)
+	}
+	if s := hs.Slots[0]; !s.Advanced || s.Bypassed || s.Spare || s.Progress != 99 || s.Beats != 10 {
+		t.Fatalf("slot 0: %+v", s)
+	}
+	if s := hs.Slots[1]; s.Advanced || !s.Bypassed || s.Spare {
+		t.Fatalf("slot 1: %+v", s)
+	}
+	if s := hs.Slots[2]; s.Advanced || s.Bypassed || !s.Spare {
+		t.Fatalf("slot 2: %+v", s)
+	}
+	if s := hs.Slots[0]; s.LastBeat != sim.Time(7*sim.Second) || s.EwmaGap != 100*sim.Millisecond || s.LastAdvance != sim.Time(6*sim.Second) {
+		t.Fatalf("slot 0 times: %+v", s)
+	}
+
+	// An older summary must not clobber a newer one; a short frame is
+	// ignored outright.
+	old := make([]byte, 12)
+	old[0], old[2] = kindHealth, 3
+	binary.LittleEndian.PutUint64(old[4:12], uint64(sim.Time(1*sim.Second)))
+	m.acceptHealth(old)
+	m.acceptHealth([]byte{kindHealth, 0, 3})
+	if hs, _ := m.PeerHealth(3); hs.Time != sim.Time(42*sim.Second) || len(hs.Slots) != 3 {
+		t.Fatalf("stale summary clobbered the ledger: %+v", hs)
+	}
+}
+
+func TestHeartbeatsDeliverAndStop(t *testing.T) {
+	k, m := buildModule(t, 4)
+	m.StartHeartbeats(100 * sim.Millisecond)
+	k.Go("ctl", func(p *sim.Proc) {
+		p.Wait(sim.Second)
+		m.StopHeartbeats()
+	})
+	end := k.Run(0)
+	// StopHeartbeats must let the kernel drain: the run ends just after
+	// the controller's one-second mark, not never.
+	if sim.Duration(end) > 2*sim.Second {
+		t.Fatalf("run dragged to %v after StopHeartbeats", sim.Duration(end))
+	}
+	hs := m.HealthSnapshot()
+	for i, s := range hs.Slots {
+		if s.Beats < 5 {
+			t.Fatalf("slot %d logged only %d beats in 1 s at 100 ms", i, s.Beats)
+		}
+	}
+	// Restart after stop must work (the guard resets).
+	m.StartHeartbeats(100 * sim.Millisecond)
+	if len(m.hbProcs) == 0 {
+		t.Fatal("restart after StopHeartbeats spawned nothing")
+	}
+	m.StopHeartbeats()
+}
+
+func TestSpareRemapInvariants(t *testing.T) {
+	_, m := buildModule(t, 4)
+	if err := m.SetSpare(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Spares(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("spares = %v, want [3]", got)
+	}
+	if m.ImageOf(3) != -1 || m.SlotOfImage(3) != -1 {
+		t.Fatal("spare still claims an image")
+	}
+
+	// A working slot dies: bypass orphans its image, then a spare
+	// adopts it.
+	img := m.ImageOf(1)
+	if err := m.BypassSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Bypassed(1) || m.ImageOf(1) != -1 {
+		t.Fatal("bypass did not retire the slot")
+	}
+	if err := m.BypassSlot(1); err != nil {
+		t.Fatalf("bypass not idempotent: %v", err)
+	}
+	if err := m.AdoptImage(3, img); err != nil {
+		t.Fatal(err)
+	}
+	if m.SlotOfImage(img) != 3 || m.ImageOf(3) != img {
+		t.Fatal("adoption bookkeeping wrong")
+	}
+	if got := m.Spares(); len(got) != 0 {
+		t.Fatalf("spares = %v after adoption, want none", got)
+	}
+
+	// The invariants: no adopting onto a bypassed or occupied slot, no
+	// double-homing a live image, no reserving spares mid-run.
+	if err := m.AdoptImage(1, 9); err == nil {
+		t.Fatal("adopted onto a bypassed slot")
+	}
+	if err := m.AdoptImage(3, 2); err == nil {
+		t.Fatal("adopted onto an occupied slot")
+	}
+	if err := m.AdoptImage(0, 0); err == nil {
+		t.Fatal("image 0 homed twice")
+	}
+	m.SnapshotsTaken++
+	if err := m.SetSpare(2); err == nil {
+		t.Fatal("reserved a spare after a snapshot exists")
+	}
+
+	// activeSlots excludes the corpse, includes the adoptive home.
+	var phys []int
+	for _, as := range m.activeSlots() {
+		phys = append(phys, as.phys)
+		if as.phys == 3 && as.img != img {
+			t.Fatalf("slot 3 carries image %d, want %d", as.img, img)
+		}
+	}
+	if len(phys) != 3 {
+		t.Fatalf("active slots %v, want 3 of them", phys)
+	}
+}

@@ -32,6 +32,8 @@ const (
 const (
 	kindUp   = 1 // snapshot data heading to the system board
 	kindDown = 2 // restore data heading to a node
+	// kindBackup (3) and the I/O kinds (4..6) live in ring.go / io.go.
+	// kindBeat (7) and kindHealth (8) live in health.go.
 )
 
 // SystemBoard provides input/output and management functions for a
@@ -73,6 +75,27 @@ type Module struct {
 
 	SnapshotsTaken int
 
+	// mapped[slot] is the image (checkpoint identity) physical slot
+	// restores from and snapshots to, or -1 when the slot holds no image:
+	// a cold spare awaiting work, or a dead slot bypassed out of the
+	// thread. Initially the identity map; spare reservation and
+	// remapping edit it through SetSpare/BypassSlot/AdoptImage.
+	mapped []int
+	// bypassed marks slots the thread has been re-cabled around.
+	bypassed []bool
+
+	// ThreadDrops counts thread frames a forwarder discarded because its
+	// outbound channel was dead (a severed thread, before bypass).
+	ThreadDrops int64
+
+	// health is the system board's per-slot liveness ledger (health.go);
+	// peerHealth holds the latest summaries other modules shipped over
+	// the system ring.
+	health     *health
+	hbInterval sim.Duration
+	hbProcs    []*sim.Proc
+	peerHealth map[int]HealthSnapshot
+
 	// epoch tags the chunks of the current snapshot so a collector can
 	// discard strays from a snapshot that was aborted by a rollback.
 	epoch byte
@@ -93,14 +116,21 @@ func New(k *sim.Kernel, index int, nodes []*node.Node) (*Module, error) {
 		return nil, fmt.Errorf("module: need 1..%d nodes, got %d", NodesPerModule, len(nodes))
 	}
 	m := &Module{
-		Index:   index,
-		Nodes:   nodes,
-		Sys:     &SystemBoard{Link: link.NewLink(k, fmt.Sprintf("mod%d/sys", index))},
-		Disk:    NewDisk(k, fmt.Sprintf("mod%d", index)),
-		k:       k,
-		upChan:  sim.NewChan(k, fmt.Sprintf("mod%d/up", index), 1<<20),
-		ioChan:  sim.NewChan(k, fmt.Sprintf("mod%d/io", index), 1<<20),
-		applied: sim.NewChan(k, fmt.Sprintf("mod%d/applied", index), 1<<20),
+		Index:      index,
+		Nodes:      nodes,
+		Sys:        &SystemBoard{Link: link.NewLink(k, fmt.Sprintf("mod%d/sys", index))},
+		Disk:       NewDisk(k, fmt.Sprintf("mod%d", index)),
+		k:          k,
+		upChan:     sim.NewChan(k, fmt.Sprintf("mod%d/up", index), 1<<20),
+		ioChan:     sim.NewChan(k, fmt.Sprintf("mod%d/io", index), 1<<20),
+		applied:    sim.NewChan(k, fmt.Sprintf("mod%d/applied", index), 1<<20),
+		mapped:     make([]int, len(nodes)),
+		bypassed:   make([]bool, len(nodes)),
+		health:     newHealth(len(nodes)),
+		peerHealth: map[int]HealthSnapshot{},
+	}
+	for i := range m.mapped {
+		m.mapped[i] = i
 	}
 	// Wire the thread.
 	if err := link.Connect(m.Sys.Link.Sublink(sysThreadOut), nodes[0].Sublink(ThreadInSublink)); err != nil {
@@ -133,6 +163,9 @@ func New(k *sim.Kernel, index int, nodes []*node.Node) (*Module, error) {
 					continue
 				case kindIOData:
 					m.ioChan.Send(p, raw)
+					continue
+				case kindBeat:
+					m.noteBeat(p.Now(), raw)
 					continue
 				}
 			}
@@ -182,14 +215,32 @@ func (m *Module) threadForwarder(p *sim.Proc, idx int, nd *node.Node) {
 			reply[0] = kindIOData
 			reply[1] = byte(idx)
 			copy(reply[2:], nd.Mem.PeekBytes(off, count))
-			if err := out.Send(p, reply); err != nil {
-				panic(err)
-			}
+			m.threadSend(p, out, reply)
 			continue
 		}
-		if err := out.Send(p, raw); err != nil {
-			panic(err)
-		}
+		m.threadSend(p, out, raw)
+	}
+}
+
+// threadSend forwards a frame down the thread, tolerating a severed
+// next hop: the frame is dropped and counted rather than panicking the
+// kernel, because a crashed downstream board is exactly the situation
+// the self-healing layer exists to survive. A dropped kindDown or
+// kindIOWrite chunk still posts its application token so the feeding
+// process stays bounded — the loss surfaces as a detected fault on the
+// next heal cycle, not as a deadlocked restore.
+func (m *Module) threadSend(p *sim.Proc, out *link.Sublink, raw []byte) {
+	err := out.Send(p, raw)
+	if err == nil {
+		return
+	}
+	if !link.IsDown(err) {
+		panic(err)
+	}
+	m.ThreadDrops++
+	m.k.Count("module.thread_drops", 1)
+	if raw[0] == kindDown || raw[0] == kindIOWrite {
+		m.applied.Send(p, struct{}{})
 	}
 }
 
@@ -201,6 +252,26 @@ func chunkHeader(kind, nodeIdx, seq int, epoch byte) []byte {
 
 // chunksPerNode is the number of thread chunks in one node image.
 const chunksPerNode = memory.Bytes / SnapshotChunk
+
+// SnapshotStallTimeout is how long the snapshot collector tolerates
+// zero chunk progress before checking whether the snapshot is torn.
+// Silence alone is not proof — a retransmit storm on a lossy thread can
+// legitimately hold chunks up for seconds — so on expiry the collector
+// also requires a dead, still-cabled board in the module (the only
+// thing that can sever the chain) before giving up.
+const SnapshotStallTimeout = 2 * sim.Second
+
+// threadSevered reports whether a dead board still sits in the module
+// thread: every frame routed past its slot is lost until it is
+// bypassed or repaired.
+func (m *Module) threadSevered() bool {
+	for i, nd := range m.Nodes {
+		if !m.bypassed[i] && !nd.Alive() {
+			return true
+		}
+	}
+	return false
+}
 
 // Snapshot records every node's full memory image onto the module disk
 // by streaming it along the system thread. The call blocks the invoking
@@ -232,16 +303,19 @@ func (m *Module) Snapshot(p *sim.Proc) (*Snapshot, error) {
 		}
 	}()
 
-	// Each node reads its memory through the row port and injects chunks
-	// into the thread.
-	for i, nd := range m.Nodes {
-		idx, n := i, nd
-		m.snapReaders = append(m.snapReaders, m.k.Go(fmt.Sprintf("mod%d/n%d/snapread", m.Index, idx), func(rp *sim.Proc) {
+	// Each image-carrying node reads its memory through the row port and
+	// injects chunks into the thread, tagged with its IMAGE slot so the
+	// disk key survives remapping. Cold spares and bypassed slots
+	// contribute nothing.
+	active := m.activeSlots()
+	for _, as := range active {
+		img, n := as.img, m.Nodes[as.phys]
+		m.snapReaders = append(m.snapReaders, m.k.Go(fmt.Sprintf("mod%d/n%d/snapread", m.Index, as.phys), func(rp *sim.Proc) {
 			for seq := 0; seq < chunksPerNode; seq++ {
 				rows := SnapshotChunk / memory.RowBytes
 				rp.Wait(sim.Duration(rows) * sim.RowAccess)
 				data := n.Mem.PeekBytes(seq*SnapshotChunk, SnapshotChunk)
-				msg := append(chunkHeader(kindUp, idx, seq, epoch), data...)
+				msg := append(chunkHeader(kindUp, img, seq, epoch), data...)
 				if err := n.Sublink(ThreadOutSublink).Send(rp, msg); err != nil {
 					// Thread severed (node crash mid-snapshot): abandon
 					// this image; the supervisor will roll back.
@@ -251,11 +325,47 @@ func (m *Module) Snapshot(p *sim.Proc) (*Snapshot, error) {
 		}))
 	}
 
-	// Collect and stream to disk.
+	// Collect and stream to disk, under a stall watchdog: a board dying
+	// mid-snapshot severs the thread and strands the chunks of every
+	// upstream reader, and the collector must surface that as an error —
+	// blocking forever would wedge the whole machine (the failure
+	// detector is suspended during checkpoints precisely because the
+	// snapshot floods the thread).
 	m.Disk.busy.Use(p, m.Disk.SeekTime)
-	want := len(m.Nodes) * chunksPerNode
+	want := len(active) * chunksPerNode
+	tick := sim.NewChan(m.k, fmt.Sprintf("mod%d/snapdog", m.Index), 4)
+	dog := m.k.GoDaemon(fmt.Sprintf("mod%d/snapdog", m.Index), func(dp *sim.Proc) {
+		for {
+			dp.Wait(SnapshotStallTimeout)
+			tick.Send(dp, struct{}{})
+		}
+	})
+	defer func() {
+		if !dog.Done() {
+			dog.Kill()
+		}
+	}()
+	lastProgress := p.Now()
 	for got := 0; got < want; {
-		raw := m.upChan.Recv(p).([]byte)
+		which, v := sim.Select(p, m.upChan, tick)
+		if which == 1 {
+			// Ticks queue up while the collector is busy on the disk, so a
+			// tick alone is not evidence of a stall; and even a long quiet
+			// window can be a retransmit storm on a lossy thread rather
+			// than a tear. Give up only when the clock has run out AND a
+			// corpse is still cabled into the chain.
+			if p.Now().Sub(lastProgress) > SnapshotStallTimeout && m.threadSevered() {
+				for _, rp := range m.snapReaders {
+					if rp != nil && !rp.Done() {
+						rp.Kill()
+					}
+				}
+				m.snapReaders = m.snapReaders[:0]
+				return nil, fmt.Errorf("module %d: snapshot stalled at %d/%d chunks", m.Index, got, want)
+			}
+			continue
+		}
+		raw := v.([]byte)
 		if raw[3] != epoch {
 			continue // stray chunk from an aborted snapshot
 		}
@@ -265,6 +375,7 @@ func (m *Module) Snapshot(p *sim.Proc) (*Snapshot, error) {
 		m.Disk.busy.Use(p, sim.Duration(len(data))*m.Disk.ByteTime)
 		m.Disk.store(snapKey(snap.ID, nodeIdx, seq), data)
 		got++
+		lastProgress = p.Now()
 	}
 	snap.Time = p.Now()
 	m.LastSnapshot = snap
@@ -330,26 +441,29 @@ func (m *Module) Restore(p *sim.Proc, snap *Snapshot) error {
 	// Verify the snapshot is complete and uncorrupted before touching
 	// the machine: a rotted block must fail the whole restore (so the
 	// supervisor can fall back to an older snapshot), not half-rewind it.
-	for idx := range m.Nodes {
+	// Keys are by image slot; delivery is to whatever physical slot
+	// carries each image now.
+	active := m.activeSlots()
+	for _, as := range active {
 		for seq := 0; seq < chunksPerNode; seq++ {
-			key := snapKey(snap.ID, idx, seq)
+			key := snapKey(snap.ID, as.img, seq)
 			if !m.Disk.Has(key) {
-				return fmt.Errorf("module %d: snapshot %d is missing node %d chunk %d", m.Index, snap.ID, idx, seq)
+				return fmt.Errorf("module %d: snapshot %d is missing image %d chunk %d", m.Index, snap.ID, as.img, seq)
 			}
 			if !m.Disk.Verify(key) {
 				return &CorruptError{Disk: m.Disk.Name, Key: key}
 			}
 		}
 	}
-	want := len(m.Nodes) * chunksPerNode
+	want := len(active) * chunksPerNode
 	// Feed the thread from the disk, double-buffered so disk reads
 	// overlap wire time (otherwise restore would be read+send serial).
 	errs := make(chan error, 1) // host-side plumbing; never blocks the sim
 	queue := sim.NewChan(m.k, fmt.Sprintf("mod%d/restoreq", m.Index), 2)
 	m.k.Go(fmt.Sprintf("mod%d/sys/restoreread", m.Index), func(fp *sim.Proc) {
-		for idx := range m.Nodes {
+		for _, as := range active {
 			for seq := 0; seq < chunksPerNode; seq++ {
-				data, err := m.Disk.Read(fp, snapKey(snap.ID, idx, seq))
+				data, err := m.Disk.Read(fp, snapKey(snap.ID, as.img, seq))
 				if err != nil {
 					select {
 					case errs <- err:
@@ -357,7 +471,7 @@ func (m *Module) Restore(p *sim.Proc, snap *Snapshot) error {
 					}
 					return
 				}
-				queue.Send(fp, append(chunkHeader(kindDown, idx, seq, 0), data...))
+				queue.Send(fp, append(chunkHeader(kindDown, as.phys, seq, 0), data...))
 			}
 		}
 	})
@@ -365,7 +479,18 @@ func (m *Module) Restore(p *sim.Proc, snap *Snapshot) error {
 		for i := 0; i < want; i++ {
 			msg := queue.Recv(fp).([]byte)
 			if err := m.Sys.Link.Sublink(sysThreadOut).Send(fp, msg); err != nil {
-				panic(err)
+				// Thread severed under the feed (a fresh failure during
+				// recovery): report and post the outstanding tokens so
+				// the collector is not left waiting on chunks that will
+				// never arrive.
+				select {
+				case errs <- err:
+				default:
+				}
+				for j := i; j < want; j++ {
+					m.applied.Send(fp, struct{}{})
+				}
+				return
 			}
 		}
 	})

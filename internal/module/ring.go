@@ -34,7 +34,26 @@ func ConnectRing(k *sim.Kernel, mods []*Module) error {
 		k.GoDaemon(fmt.Sprintf("mod%d/sys/ring", mod.Index), func(p *sim.Proc) {
 			for {
 				raw := mod.Sys.Link.Sublink(sysRingIn).Recv(p)
-				if len(raw) < 3 || raw[0] != kindBackup {
+				if len(raw) < 3 {
+					continue
+				}
+				if raw[0] == kindHealth {
+					// Health summaries are addressed: consume ours,
+					// relay the rest around the ring until their hop
+					// budget dies.
+					if len(raw) < 4 {
+						continue
+					}
+					if int(raw[1]) == mod.Index {
+						mod.acceptHealth(raw)
+						continue
+					}
+					if raw[3]++; raw[3] < healthHopBudget {
+						_ = mod.Sys.Link.Sublink(sysRingOut).Send(p, raw)
+					}
+					continue
+				}
+				if raw[0] != kindBackup {
 					continue
 				}
 				keyLen := int(binary.LittleEndian.Uint16(raw[1:3]))
@@ -59,9 +78,9 @@ func (m *Module) BackupLastSnapshot(p *sim.Proc) error {
 	if snap == nil {
 		return fmt.Errorf("module %d: nothing to back up", m.Index)
 	}
-	for idx := range m.Nodes {
+	for _, as := range m.activeSlots() {
 		for seq := 0; seq < chunksPerNode; seq++ {
-			key := snapKey(snap.ID, idx, seq)
+			key := snapKey(snap.ID, as.img, seq)
 			data, ok := m.Disk.blocks[key]
 			if !ok {
 				return fmt.Errorf("module %d: snapshot block %s missing", m.Index, key)

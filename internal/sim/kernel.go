@@ -267,6 +267,16 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			if e == nil {
 				return k.endDispatch(self)
 			}
+			if e.proc != nil && e.proc.done {
+				// A finished process's leftover timer (it was killed
+				// while waiting). The wakeup no longer exists in the
+				// simulated world, so it must not advance the clock —
+				// otherwise every Kill of a sleeping process drags the
+				// drain time out to its next scheduled tick.
+				k.q.popCurrent()
+				k.freeEvent(e)
+				continue
+			}
 			if k.limit >= 0 && e.at > k.limit {
 				return k.endDispatch(self)
 			}

@@ -20,6 +20,10 @@ type Stats struct {
 	Parks    int64 // times a process blocked (wait, channel, resource, join)
 	Unparks  int64 // times a blocked process was scheduled to resume
 	MaxQueue int   // high-water mark of the pending event queue
+	// LiveProcs is the number of non-daemon processes alive at snapshot
+	// time. At the end of a completed run it must be zero — anything
+	// else is a leaked (forever-blocked, never-killed) process.
+	LiveProcs int
 
 	// Counters holds component-published quantities (e.g. "link.bytes",
 	// the payload bytes carried by every serial link).
@@ -113,13 +117,14 @@ func (k *Kernel) Counter(name string) int64 { return k.counters[name] }
 // Stats snapshots the kernel's execution metrics at the current instant.
 func (k *Kernel) Stats() Stats {
 	s := Stats{
-		Now:      k.now,
-		Events:   k.events,
-		Spawned:  k.spawned,
-		Finished: k.finished,
-		Parks:    k.parks,
-		Unparks:  k.unparks,
-		MaxQueue: k.maxQueue,
+		Now:       k.now,
+		Events:    k.events,
+		Spawned:   k.spawned,
+		Finished:  k.finished,
+		Parks:     k.parks,
+		Unparks:   k.unparks,
+		MaxQueue:  k.maxQueue,
+		LiveProcs: k.procs,
 	}
 	if len(k.counters) > 0 {
 		s.Counters = make(map[string]int64, len(k.counters))

@@ -66,6 +66,7 @@ func init() {
 		rep := newReport("recovery", res.Nodes, res.Elapsed, flops, res.Stats)
 		rep.Metrics["checkpoints"] = float64(res.Checkpoints)
 		rep.Metrics["rollbacks"] = float64(res.Rollbacks)
+		rep.Metrics["recovery_ms"] = float64(res.Recovery) / float64(sim.Millisecond)
 		rep.Metrics["goodput_mbps"] = res.GoodputMBps()
 		if !res.Correct {
 			return rep, fmt.Errorf("workloads: recovery run finished with corrupted state")

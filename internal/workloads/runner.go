@@ -23,9 +23,10 @@ type Config struct {
 	Reps   int          // SAXPY sweep repetitions
 	Phases int          // recovery workload phases
 	Seed   int64        // input generator seed
-	Pad    sim.Duration // per-phase synthetic compute time (recovery)
+	Pad    sim.Duration // per-phase synthetic compute time (recovery, soak)
 	Ckpt   sim.Duration // periodic checkpoint interval (recovery; 0 = initial only)
 	Faults *fault.Plan  // optional fault plan (recovery)
+	Chaos  *fault.Chaos // optional randomized chaos recipe (soak)
 }
 
 // DefaultConfig returns the values the tsim command starts from.
