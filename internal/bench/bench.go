@@ -225,5 +225,8 @@ func MeasureKernel(short bool) KernelTrajectory {
 	for _, s := range kernelScenarios() {
 		t.Results = append(t.Results, measure(s.name, minTime, s.run))
 	}
+	for _, s := range datapathScenarios() {
+		t.Results = append(t.Results, measure(s.name, minTime, s.run))
+	}
 	return t
 }

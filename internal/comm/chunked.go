@@ -3,6 +3,7 @@ package comm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"tseries/internal/sim"
 )
@@ -17,6 +18,12 @@ import (
 // chunk header: seq (uint32) | total (uint32).
 const chunkHeaderBytes = 8
 
+// chunkPool recycles the header+payload staging buffer of SendChunked.
+// Send (via encode, and the link layer below it) copies the bytes it is
+// given before returning, so one scratch buffer can serve every chunk of
+// a transfer and then be recycled across transfers and kernels.
+var chunkPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // SendChunked delivers payload to dst under tag, split into pieces of at
 // most chunkSize bytes. The receiver must use RecvChunked with the same
 // tag. Chunks of one transfer must not interleave with another chunked
@@ -29,13 +36,18 @@ func (e *Endpoint) SendChunked(p *sim.Proc, dst, tag int, payload []byte, chunkS
 	if total == 0 {
 		total = 1
 	}
+	bp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bp)
+	if max := chunkHeaderBytes + chunkSize; cap(*bp) < max {
+		*bp = make([]byte, max)
+	}
 	for seq := 0; seq < total; seq++ {
 		lo := seq * chunkSize
 		hi := lo + chunkSize
 		if hi > len(payload) {
 			hi = len(payload)
 		}
-		buf := make([]byte, chunkHeaderBytes+hi-lo)
+		buf := (*bp)[:chunkHeaderBytes+hi-lo]
 		binary.LittleEndian.PutUint32(buf[0:], uint32(seq))
 		binary.LittleEndian.PutUint32(buf[4:], uint32(total))
 		copy(buf[chunkHeaderBytes:], payload[lo:hi])
@@ -69,6 +81,11 @@ func (e *Endpoint) RecvChunked(p *sim.Proc, tag int) (src int, payload []byte, e
 		parts[seq] = raw[chunkHeaderBytes:]
 		got++
 	}
+	size := 0
+	for _, part := range parts {
+		size += len(part)
+	}
+	payload = make([]byte, 0, size)
 	for _, part := range parts {
 		payload = append(payload, part...)
 	}

@@ -1,0 +1,61 @@
+package fparith
+
+import "testing"
+
+// Operand pools for the arithmetic benchmarks: all normal numbers of
+// varying exponent and significand, the case the fast path targets.
+var benchOps64 = func() []F64 {
+	vals := []float64{1.5, -2.25, 3.14159, 1e-12, -7.5e8, 0.001953125, 123456.78125, -1.0000000001}
+	out := make([]F64, len(vals))
+	for i, v := range vals {
+		out[i] = FromFloat64(v)
+	}
+	return out
+}()
+
+var benchOps32 = func() []F32 {
+	vals := []float32{1.5, -2.25, 3.14159, 1e-12, -7.5e8, 0.001953125, 123456.78, -1.0000001}
+	out := make([]F32, len(vals))
+	for i, v := range vals {
+		out[i] = FromFloat32(v)
+	}
+	return out
+}()
+
+var sink64 F64
+var sink32 F32
+
+func BenchmarkAdd64(b *testing.B) {
+	n := len(benchOps64)
+	for i := 0; i < b.N; i++ {
+		sink64 = Add64(benchOps64[i%n], benchOps64[(i+3)%n])
+	}
+}
+
+func BenchmarkSub64(b *testing.B) {
+	n := len(benchOps64)
+	for i := 0; i < b.N; i++ {
+		sink64 = Sub64(benchOps64[i%n], benchOps64[(i+3)%n])
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	n := len(benchOps64)
+	for i := 0; i < b.N; i++ {
+		sink64 = Mul64(benchOps64[i%n], benchOps64[(i+3)%n])
+	}
+}
+
+func BenchmarkAdd32(b *testing.B) {
+	n := len(benchOps32)
+	for i := 0; i < b.N; i++ {
+		sink32 = Add32(benchOps32[i%n], benchOps32[(i+3)%n])
+	}
+}
+
+func BenchmarkMul32(b *testing.B) {
+	n := len(benchOps32)
+	for i := 0; i < b.N; i++ {
+		sink32 = Mul32(benchOps32[i%n], benchOps32[(i+3)%n])
+	}
+}

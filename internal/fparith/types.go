@@ -13,13 +13,28 @@ type F32 uint32
 // 64-bit operations.
 
 // Add64 returns a + b with round-to-nearest-even and flush-to-zero.
-func Add64(a, b F64) F64 { return F64(add(fmt64, uint64(a), uint64(b), false)) }
+func Add64(a, b F64) F64 {
+	if isNorm64(uint64(a)) && isNorm64(uint64(b)) {
+		return F64(addNorm64(uint64(a), uint64(b)))
+	}
+	return F64(add(fmt64, uint64(a), uint64(b), false))
+}
 
 // Sub64 returns a - b.
-func Sub64(a, b F64) F64 { return F64(add(fmt64, uint64(a), uint64(b), true)) }
+func Sub64(a, b F64) F64 {
+	if isNorm64(uint64(a)) && isNorm64(uint64(b)) {
+		return F64(addNorm64(uint64(a), uint64(b)^fmt64.signMask()))
+	}
+	return F64(add(fmt64, uint64(a), uint64(b), true))
+}
 
 // Mul64 returns a * b.
-func Mul64(a, b F64) F64 { return F64(mul(fmt64, uint64(a), uint64(b))) }
+func Mul64(a, b F64) F64 {
+	if isNorm64(uint64(a)) && isNorm64(uint64(b)) {
+		return F64(mulNorm64(uint64(a), uint64(b)))
+	}
+	return F64(mul(fmt64, uint64(a), uint64(b)))
+}
 
 // Div64 returns a / b (a software operation on the real machine).
 func Div64(a, b F64) F64 { return F64(div(fmt64, uint64(a), uint64(b))) }
@@ -33,13 +48,28 @@ func Abs64(a F64) F64 { return a &^ F64(fmt64.signMask()) }
 // 32-bit operations.
 
 // Add32 returns a + b.
-func Add32(a, b F32) F32 { return F32(add(fmt32, uint64(a), uint64(b), false)) }
+func Add32(a, b F32) F32 {
+	if isNorm32(uint32(a)) && isNorm32(uint32(b)) {
+		return F32(addNorm32(uint32(a), uint32(b)))
+	}
+	return F32(add(fmt32, uint64(a), uint64(b), false))
+}
 
 // Sub32 returns a - b.
-func Sub32(a, b F32) F32 { return F32(add(fmt32, uint64(a), uint64(b), true)) }
+func Sub32(a, b F32) F32 {
+	if isNorm32(uint32(a)) && isNorm32(uint32(b)) {
+		return F32(addNorm32(uint32(a), uint32(b)^uint32(fmt32.signMask())))
+	}
+	return F32(add(fmt32, uint64(a), uint64(b), true))
+}
 
 // Mul32 returns a * b.
-func Mul32(a, b F32) F32 { return F32(mul(fmt32, uint64(a), uint64(b))) }
+func Mul32(a, b F32) F32 {
+	if isNorm32(uint32(a)) && isNorm32(uint32(b)) {
+		return F32(mulNorm32(uint32(a), uint32(b)))
+	}
+	return F32(mul(fmt32, uint64(a), uint64(b)))
+}
 
 // Div32 returns a / b.
 func Div32(a, b F32) F32 { return F32(div(fmt32, uint64(a), uint64(b))) }

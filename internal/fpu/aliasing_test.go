@@ -1,0 +1,166 @@
+package fpu
+
+import (
+	"testing"
+
+	"tseries/internal/fparith"
+	"tseries/internal/memory"
+	"tseries/internal/sim"
+)
+
+// The fused datapath loops operate on row views, so the semantics that
+// fall out of element order — aliased operands and partial rows — need
+// pinning: the hardware reads x[i] and y[i] before it writes z[i], so
+// Z==X and Z==Y are well-defined in-place updates.
+
+func runOp(t *testing.T, k *sim.Kernel, u *Unit, op Op) Result {
+	t.Helper()
+	var res Result
+	k.Go("cp", func(p *sim.Proc) {
+		var err error
+		res, err = u.Run(p, op)
+		if err != nil {
+			t.Errorf("run %v: %v", op.Form, err)
+		}
+	})
+	k.Run(0)
+	return res
+}
+
+func TestAliasedZEqualsX(t *testing.T) {
+	k, m, u := rig()
+	n := memory.F64PerRow
+	xs := make([]fparith.F64, n)
+	ys := make([]fparith.F64, n)
+	for i := range xs {
+		xs[i] = fparith.FromFloat64(float64(i) * 0.75)
+		ys[i] = fparith.FromFloat64(float64(n-i) * 1.5)
+		m.PokeF64(0*memory.F64PerRow+i, xs[i])
+		m.PokeF64(300*memory.F64PerRow+i, ys[i])
+	}
+	runOp(t, k, u, Op{Form: VAdd, Prec: P64, X: 0, Y: 300, Z: 0}) // Z aliases X
+	for i := 0; i < n; i++ {
+		want := fparith.Add64(xs[i], ys[i])
+		if got := m.PeekF64(0*memory.F64PerRow + i); got != want {
+			t.Fatalf("z[%d] = %#x, want %#x (in-place add)", i, uint64(got), uint64(want))
+		}
+	}
+}
+
+func TestAliasedZEqualsY(t *testing.T) {
+	k, m, u := rig()
+	n := memory.F64PerRow
+	xs := make([]fparith.F64, n)
+	ys := make([]fparith.F64, n)
+	for i := range xs {
+		xs[i] = fparith.FromFloat64(float64(i) + 0.25)
+		ys[i] = fparith.FromFloat64(float64(i) * 2)
+		m.PokeF64(1*memory.F64PerRow+i, xs[i])
+		m.PokeF64(301*memory.F64PerRow+i, ys[i])
+	}
+	a := fparith.FromFloat64(-1.5)
+	runOp(t, k, u, Op{Form: SAXPY, Prec: P64, X: 1, Y: 301, Z: 301, A: a}) // Z aliases Y
+	for i := 0; i < n; i++ {
+		want := fparith.Add64(fparith.Mul64(a, xs[i]), ys[i])
+		if got := m.PeekF64(301*memory.F64PerRow + i); got != want {
+			t.Fatalf("z[%d] = %#x, want %#x (in-place saxpy)", i, uint64(got), uint64(want))
+		}
+	}
+}
+
+func TestAliasedZEqualsX32(t *testing.T) {
+	k, m, u := rig()
+	n := memory.F32PerRow
+	xs := make([]fparith.F32, n)
+	ys := make([]fparith.F32, n)
+	for i := range xs {
+		xs[i] = fparith.FromFloat32(float32(i) * 0.5)
+		ys[i] = fparith.FromFloat32(float32(i) + 1)
+		m.PokeF32(2*memory.F32PerRow+i, xs[i])
+		m.PokeF32(302*memory.F32PerRow+i, ys[i])
+	}
+	runOp(t, k, u, Op{Form: VMul, Prec: P32, X: 2, Y: 302, Z: 2})
+	for i := 0; i < n; i++ {
+		want := fparith.Mul32(xs[i], ys[i])
+		if got := m.PeekF32(2*memory.F32PerRow + i); got != want {
+			t.Fatalf("z[%d] = %#x, want %#x", i, uint32(got), uint32(want))
+		}
+	}
+}
+
+func TestPartialRowLeavesTailUntouched(t *testing.T) {
+	k, m, u := rig()
+	const n = 40 // well short of F64PerRow
+	sentinel := fparith.FromFloat64(-77.5)
+	for i := 0; i < memory.F64PerRow; i++ {
+		m.PokeF64(5*memory.F64PerRow+i, fparith.FromFloat64(float64(i)))
+		m.PokeF64(305*memory.F64PerRow+i, fparith.FromFloat64(1))
+		m.PokeF64(306*memory.F64PerRow+i, sentinel)
+	}
+	res := runOp(t, k, u, Op{Form: VAdd, Prec: P64, X: 5, Y: 305, Z: 306, N: n})
+	for i := 0; i < n; i++ {
+		want := fparith.FromFloat64(float64(i) + 1)
+		if got := m.PeekF64(306*memory.F64PerRow + i); got != want {
+			t.Fatalf("z[%d] = %#x, want %#x", i, uint64(got), uint64(want))
+		}
+	}
+	for i := n; i < memory.F64PerRow; i++ {
+		if got := m.PeekF64(306*memory.F64PerRow + i); got != sentinel {
+			t.Fatalf("z[%d] = %#x: partial op wrote past N", i, uint64(got))
+		}
+	}
+	if res.Flops != n {
+		t.Fatalf("flops = %d, want %d", res.Flops, n)
+	}
+}
+
+func TestPartialRowParityConsistent(t *testing.T) {
+	// After a partial-row op, the whole output row must still pass
+	// validation once a fault elsewhere arms parity checking.
+	k, m, u := rig()
+	for i := 0; i < memory.F64PerRow; i++ {
+		m.PokeF64(6*memory.F64PerRow+i, fparith.FromFloat64(float64(i)))
+		m.PokeF64(310*memory.F64PerRow+i, fparith.FromFloat64(2))
+	}
+	runOp(t, k, u, Op{Form: VMul, Prec: P64, X: 6, Y: 310, Z: 311, N: 13})
+	m.FlipBit(memory.RowAddr(900), 0) // arm validation via an unrelated row
+	var reg memory.VectorReg
+	k.Go("check", func(p *sim.Proc) {
+		if err := m.LoadRow(p, 311, &reg); err != nil {
+			t.Errorf("row 311 failed parity after partial op: %v", err)
+		}
+	})
+	k.Run(0)
+}
+
+// TestStreamTimingUnchanged pins the cycle-exact cost model the fused
+// loops must not perturb: timing is charged by Run before compute, so
+// the datapath rewrite cannot change any of these figures.
+func TestStreamTimingUnchanged(t *testing.T) {
+	cases := []struct {
+		form Form
+		prec Precision
+		n    int
+		want sim.Duration
+	}{
+		// load 400ns ∥ banks + (fill + n)·125ns + store 400ns.
+		{VAdd, P64, 128, 400*sim.Nanosecond + sim.Duration(6+128)*sim.Cycle + 400*sim.Nanosecond},
+		{SAXPY, P64, 128, 400*sim.Nanosecond + sim.Duration(7+6+128)*sim.Cycle + 400*sim.Nanosecond},
+		{VMul, P64, 128, 400*sim.Nanosecond + sim.Duration(7+128)*sim.Cycle + 400*sim.Nanosecond},
+		// Reductions drain the feedback accumulators: (d-1) extra adds
+		// of d cycles each, no output row store.
+		{Sum, P64, 128, 400*sim.Nanosecond + sim.Duration(6+128)*sim.Cycle + sim.Duration(5*6)*sim.Cycle},
+		{VAdd, P64, 13, 400*sim.Nanosecond + sim.Duration(6+13)*sim.Cycle + 400*sim.Nanosecond},
+	}
+	for _, c := range cases {
+		k, m, u := rig()
+		for i := 0; i < memory.F64PerRow; i++ {
+			m.PokeF64(0*memory.F64PerRow+i, fparith.FromFloat64(1))
+			m.PokeF64(300*memory.F64PerRow+i, fparith.FromFloat64(2))
+		}
+		res := runOp(t, k, u, Op{Form: c.form, Prec: c.prec, X: 0, Y: 300, Z: 301, N: c.n})
+		if res.Elapsed != c.want {
+			t.Errorf("%v n=%d: elapsed %v, want %v", c.form, c.n, res.Elapsed, c.want)
+		}
+	}
+}

@@ -4,13 +4,20 @@ import (
 	"fmt"
 
 	"tseries/internal/fparith"
-	"tseries/internal/memory"
 )
 
 // compute performs the element arithmetic of a validated vector form.
 // Timing was already charged by Run; this produces the bit-exact values
 // the hardware would deliver, including the deterministic reduction order
 // imposed by the adder's feedback accumulators.
+//
+// The loops below are the simulator's datapath fast lane: one
+// specialized loop per form, operating on typed row views (word slices
+// backed by the row buffers) with the status flags accumulated in
+// locals, so the per-element cost is the fparith call and nothing else.
+// Element order — and therefore aliasing behaviour when Z is X or Y, and
+// the feedback accumulator order of the reductions — is identical to the
+// hardware's sequential retirement.
 func (u *Unit) compute(op Op) (Result, error) {
 	if op.Prec == P64 {
 		return u.compute64(op)
@@ -18,156 +25,240 @@ func (u *Unit) compute(op Op) (Result, error) {
 	return u.compute32(op)
 }
 
-// note updates the status flags from a freshly produced 64-bit result.
-func (s *Status) note64(v fparith.F64) {
-	if fparith.IsNaN64(v) {
-		s.Invalid = true
+// IEEE bit masks for the inline status checks: an all-ones exponent is
+// Inf (zero fraction → Overflow) or NaN (nonzero fraction → Invalid).
+const (
+	exp64Bits = uint64(0x7FF) << 52
+	exp32Bits = uint32(0xFF) << 23
+)
+
+// note64 folds one 64-bit result into the status flags without
+// unpacking. Small and call-free so it inlines into every form loop.
+func note64(v uint64, inv, ovf bool) (bool, bool) {
+	if v&exp64Bits == exp64Bits {
+		if v<<12 != 0 {
+			inv = true
+		} else {
+			ovf = true
+		}
 	}
-	if fparith.IsInf64(v) {
-		s.Overflow = true
-	}
+	return inv, ovf
 }
 
-func (s *Status) note32(v fparith.F32) {
-	if fparith.IsNaN32(v) {
-		s.Invalid = true
+// note32 is the 32-bit counterpart of note64.
+func note32(v uint32, inv, ovf bool) (bool, bool) {
+	if v&exp32Bits == exp32Bits {
+		if v<<9 != 0 {
+			inv = true
+		} else {
+			ovf = true
+		}
 	}
-	if fparith.IsInf32(v) {
-		s.Overflow = true
-	}
+	return inv, ovf
+}
+
+// maxPipeDepth bounds the feedback accumulator count of a reduction; the
+// adder is six-stage in both precisions, so eight leaves headroom.
+const maxPipeDepth = 8
+
+func nan64() float64 {
+	v := 0.0
+	return v / v
 }
 
 func (u *Unit) compute64(op Op) (Result, error) {
 	var res Result
-	base := func(row int) int { return row * memory.F64PerRow }
-	x := func(i int) fparith.F64 { return u.mem.PeekF64(base(op.X) + i) }
-	y := func(i int) fparith.F64 { return u.mem.PeekF64(base(op.Y) + i) }
-	setZ := func(i int, v fparith.F64) {
-		res.Status.note64(v)
-		u.mem.PokeF64(base(op.Z)+i, v)
-	}
 	n := op.N
 	res.Flops = n * op.Form.flopsPerElement()
+	inv, ovf := false, false
 
 	switch op.Form {
-	case VAdd:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Add64(x(i), y(i)))
-		}
-	case VSub:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Sub64(x(i), y(i)))
-		}
-	case VMul:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Mul64(x(i), y(i)))
-		}
-	case SAXPY:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Add64(fparith.Mul64(op.A, x(i)), y(i)))
-		}
-	case VSMul:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Mul64(op.A, x(i)))
-		}
-	case VSAdd:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Add64(op.A, x(i)))
-		}
-	case VNeg:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Neg64(x(i)))
-		}
-	case VAbs:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Abs64(x(i)))
-		}
-	case VCmp:
-		for i := 0; i < n; i++ {
-			switch fparith.Cmp64(x(i), y(i)) {
-			case -1:
-				setZ(i, fparith.FromInt64(-1))
-			case 0:
-				setZ(i, 0)
-			case 1:
-				setZ(i, fparith.FromInt64(1))
-			default:
-				res.Status.Invalid = true
-				setZ(i, fparith.FromFloat64(nan64()))
+	case VAdd, VSub, VMul, SAXPY, VSMul, VSAdd, VNeg, VAbs, VCmp:
+		xs := u.mem.RowF64s(op.X)[:n]
+		zs := u.mem.RowF64s(op.Z)[:n]
+		switch op.Form {
+		case VAdd:
+			ys := u.mem.RowF64s(op.Y)[:n]
+			for i := range xs {
+				v := uint64(fparith.Add64(fparith.F64(xs[i]), fparith.F64(ys[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case VSub:
+			ys := u.mem.RowF64s(op.Y)[:n]
+			for i := range xs {
+				v := uint64(fparith.Sub64(fparith.F64(xs[i]), fparith.F64(ys[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case VMul:
+			ys := u.mem.RowF64s(op.Y)[:n]
+			for i := range xs {
+				v := uint64(fparith.Mul64(fparith.F64(xs[i]), fparith.F64(ys[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case SAXPY:
+			ys := u.mem.RowF64s(op.Y)[:n]
+			a := op.A
+			for i := range xs {
+				v := uint64(fparith.Add64(fparith.Mul64(a, fparith.F64(xs[i])), fparith.F64(ys[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case VSMul:
+			a := op.A
+			for i := range xs {
+				v := uint64(fparith.Mul64(a, fparith.F64(xs[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case VSAdd:
+			a := op.A
+			for i := range xs {
+				v := uint64(fparith.Add64(a, fparith.F64(xs[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case VNeg:
+			for i := range xs {
+				v := uint64(fparith.Neg64(fparith.F64(xs[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case VAbs:
+			for i := range xs {
+				v := uint64(fparith.Abs64(fparith.F64(xs[i])))
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
+			}
+		case VCmp:
+			ys := u.mem.RowF64s(op.Y)[:n]
+			one := uint64(fparith.FromInt64(1))
+			negOne := uint64(fparith.FromInt64(-1))
+			qnan := uint64(fparith.FromFloat64(nan64()))
+			for i := range xs {
+				var v uint64
+				switch fparith.Cmp64(fparith.F64(xs[i]), fparith.F64(ys[i])) {
+				case -1:
+					v = negOne
+				case 0:
+					v = 0
+				case 1:
+					v = one
+				case 2: // unordered: a NaN operand
+					inv = true
+					v = qnan
+				}
+				inv, ovf = note64(v, inv, ovf)
+				zs[i] = v
 			}
 		}
+		u.mem.FlushRowF64s(op.Z, zs, n)
+
 	case Dot:
-		res.Scalar = u.reduce64(n, func(i int) fparith.F64 {
-			v := fparith.Mul64(x(i), y(i))
-			res.Status.note64(v)
-			return v
-		})
-		res.Status.note64(res.Scalar)
+		xs := u.mem.RowF64s(op.X)[:n]
+		ys := u.mem.RowF64s(op.Y)[:n]
+		d := u.Adder.Depth(P64)
+		var accBuf [maxPipeDepth]fparith.F64
+		var seenBuf [maxPipeDepth]bool
+		acc, seen := accBuf[:d], seenBuf[:d]
+		j := 0
+		for i := range xs {
+			v := fparith.Mul64(fparith.F64(xs[i]), fparith.F64(ys[i]))
+			inv, ovf = note64(uint64(v), inv, ovf)
+			if !seen[j] {
+				acc[j], seen[j] = v, true
+			} else {
+				acc[j] = fparith.Add64(acc[j], v)
+			}
+			if j++; j == d {
+				j = 0
+			}
+		}
+		res.Scalar = drain64(acc, seen)
+		inv, ovf = note64(uint64(res.Scalar), inv, ovf)
+
 	case Sum:
-		res.Scalar = u.reduce64(n, x)
-		res.Status.note64(res.Scalar)
+		xs := u.mem.RowF64s(op.X)[:n]
+		d := u.Adder.Depth(P64)
+		var accBuf [maxPipeDepth]fparith.F64
+		var seenBuf [maxPipeDepth]bool
+		acc, seen := accBuf[:d], seenBuf[:d]
+		j := 0
+		for i := range xs {
+			v := fparith.F64(xs[i])
+			if !seen[j] {
+				acc[j], seen[j] = v, true
+			} else {
+				acc[j] = fparith.Add64(acc[j], v)
+			}
+			if j++; j == d {
+				j = 0
+			}
+		}
+		res.Scalar = drain64(acc, seen)
+		inv, ovf = note64(uint64(res.Scalar), inv, ovf)
+
 	case VMax, VMin:
+		xs := u.mem.RowF64s(op.X)[:n]
 		want := 1
 		if op.Form == VMin {
 			want = -1
 		}
-		best := x(0)
+		best := fparith.F64(xs[0])
 		for i := 1; i < n; i++ {
-			c := fparith.Cmp64(x(i), best)
+			c := fparith.Cmp64(fparith.F64(xs[i]), best)
 			if c == 2 {
-				res.Status.Invalid = true
+				inv = true
 				continue
 			}
 			if c == want {
-				best = x(i)
+				best = fparith.F64(xs[i])
 			}
 		}
 		res.Scalar = best
+
 	case Cvt64to32:
-		for i := 0; i < n; i++ {
-			v := fparith.To32(x(i))
-			res.Status.note32(v)
-			u.mem.PokeF32(op.Z*memory.F32PerRow+i, v)
+		xs := u.mem.RowF64s(op.X)[:n]
+		zs := u.mem.RowF32s(op.Z)[:n]
+		for i := range xs {
+			v := fparith.To32(fparith.F64(xs[i]))
+			inv, ovf = note32(uint32(v), inv, ovf)
+			zs[i] = uint32(v)
 		}
+		u.mem.FlushRowF32s(op.Z, zs, n)
+
 	case Cvt32to64:
-		for i := 0; i < n; i++ {
-			v := fparith.To64(u.mem.PeekF32(op.X*memory.F32PerRow + i))
-			res.Status.note64(v)
-			u.mem.PokeF64(base(op.Z)+i, v)
+		xs := u.mem.RowF32s(op.X)[:n]
+		zs := u.mem.RowF64s(op.Z)[:n]
+		for i := range xs {
+			v := fparith.To64(fparith.F32(xs[i]))
+			inv, ovf = note64(uint64(v), inv, ovf)
+			zs[i] = uint64(v)
 		}
+		u.mem.FlushRowF64s(op.Z, zs, n)
+
 	default:
 		return res, fmt.Errorf("fpu: unknown form %v", op.Form)
 	}
+	res.Status.Invalid = inv
+	res.Status.Overflow = ovf
 	return res, nil
 }
 
-// reduce64 models the adder feedback path: while streaming, the six-stage
-// adder keeps six interleaved partial sums (element i lands in
-// accumulator i mod depth); on drain the partials are combined in
-// accumulator order. This order is deterministic and reproducible — the
-// bit pattern of a DOT or SUM on the simulator never varies between runs.
-func (u *Unit) reduce64(n int, elem func(int) fparith.F64) fparith.F64 {
-	d := u.Adder.Depth(P64)
-	acc := make([]fparith.F64, d)
-	seen := make([]bool, d)
-	for i := 0; i < n; i++ {
-		j := i % d
-		if !seen[j] {
-			acc[j] = elem(i)
-			seen[j] = true
-		} else {
-			acc[j] = fparith.Add64(acc[j], elem(i))
-		}
-	}
+// drain64 combines a reduction's feedback accumulators in accumulator
+// order — the deterministic drain the hardware performs when the
+// pipeline empties.
+func drain64(acc []fparith.F64, seen []bool) fparith.F64 {
 	var total fparith.F64
 	first := true
-	for j := 0; j < d; j++ {
+	for j := range acc {
 		if !seen[j] {
 			continue
 		}
 		if first {
-			total = acc[j]
-			first = false
+			total, first = acc[j], false
 		} else {
 			total = fparith.Add64(total, acc[j])
 		}
@@ -175,28 +266,15 @@ func (u *Unit) reduce64(n int, elem func(int) fparith.F64) fparith.F64 {
 	return total
 }
 
-func (u *Unit) reduce32(n int, elem func(int) fparith.F32) fparith.F32 {
-	d := u.Adder.Depth(P32)
-	acc := make([]fparith.F32, d)
-	seen := make([]bool, d)
-	for i := 0; i < n; i++ {
-		j := i % d
-		if !seen[j] {
-			acc[j] = elem(i)
-			seen[j] = true
-		} else {
-			acc[j] = fparith.Add32(acc[j], elem(i))
-		}
-	}
+func drain32(acc []fparith.F32, seen []bool) fparith.F32 {
 	var total fparith.F32
 	first := true
-	for j := 0; j < d; j++ {
+	for j := range acc {
 		if !seen[j] {
 			continue
 		}
 		if first {
-			total = acc[j]
-			first = false
+			total, first = acc[j], false
 		} else {
 			total = fparith.Add32(total, acc[j])
 		}
@@ -204,104 +282,166 @@ func (u *Unit) reduce32(n int, elem func(int) fparith.F32) fparith.F32 {
 	return total
 }
 
-func nan64() float64 {
-	v := 0.0
-	return v / v
-}
-
 func (u *Unit) compute32(op Op) (Result, error) {
 	var res Result
-	base := func(row int) int { return row * memory.F32PerRow }
-	a32 := fparith.To32(op.A)
-	x := func(i int) fparith.F32 { return u.mem.PeekF32(base(op.X) + i) }
-	y := func(i int) fparith.F32 { return u.mem.PeekF32(base(op.Y) + i) }
-	setZ := func(i int, v fparith.F32) {
-		res.Status.note32(v)
-		u.mem.PokeF32(base(op.Z)+i, v)
-	}
 	n := op.N
 	res.Flops = n * op.Form.flopsPerElement()
+	inv, ovf := false, false
+	a32 := fparith.To32(op.A)
 
 	switch op.Form {
-	case VAdd:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Add32(x(i), y(i)))
-		}
-	case VSub:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Sub32(x(i), y(i)))
-		}
-	case VMul:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Mul32(x(i), y(i)))
-		}
-	case SAXPY:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Add32(fparith.Mul32(a32, x(i)), y(i)))
-		}
-	case VSMul:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Mul32(a32, x(i)))
-		}
-	case VSAdd:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Add32(a32, x(i)))
-		}
-	case VNeg:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Neg32(x(i)))
-		}
-	case VAbs:
-		for i := 0; i < n; i++ {
-			setZ(i, fparith.Abs32(x(i)))
-		}
-	case VCmp:
-		for i := 0; i < n; i++ {
-			switch fparith.Cmp32(x(i), y(i)) {
-			case -1:
-				setZ(i, fparith.FromFloat32(-1))
-			case 0:
-				setZ(i, 0)
-			case 1:
-				setZ(i, fparith.FromFloat32(1))
-			default:
-				res.Status.Invalid = true
-				setZ(i, fparith.To32(fparith.FromFloat64(nan64())))
+	case VAdd, VSub, VMul, SAXPY, VSMul, VSAdd, VNeg, VAbs, VCmp:
+		xs := u.mem.RowF32s(op.X)[:n]
+		zs := u.mem.RowF32s(op.Z)[:n]
+		switch op.Form {
+		case VAdd:
+			ys := u.mem.RowF32s(op.Y)[:n]
+			for i := range xs {
+				v := uint32(fparith.Add32(fparith.F32(xs[i]), fparith.F32(ys[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case VSub:
+			ys := u.mem.RowF32s(op.Y)[:n]
+			for i := range xs {
+				v := uint32(fparith.Sub32(fparith.F32(xs[i]), fparith.F32(ys[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case VMul:
+			ys := u.mem.RowF32s(op.Y)[:n]
+			for i := range xs {
+				v := uint32(fparith.Mul32(fparith.F32(xs[i]), fparith.F32(ys[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case SAXPY:
+			ys := u.mem.RowF32s(op.Y)[:n]
+			for i := range xs {
+				v := uint32(fparith.Add32(fparith.Mul32(a32, fparith.F32(xs[i])), fparith.F32(ys[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case VSMul:
+			for i := range xs {
+				v := uint32(fparith.Mul32(a32, fparith.F32(xs[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case VSAdd:
+			for i := range xs {
+				v := uint32(fparith.Add32(a32, fparith.F32(xs[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case VNeg:
+			for i := range xs {
+				v := uint32(fparith.Neg32(fparith.F32(xs[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case VAbs:
+			for i := range xs {
+				v := uint32(fparith.Abs32(fparith.F32(xs[i])))
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
+			}
+		case VCmp:
+			ys := u.mem.RowF32s(op.Y)[:n]
+			one := uint32(fparith.FromFloat32(1))
+			negOne := uint32(fparith.FromFloat32(-1))
+			qnan := uint32(fparith.To32(fparith.FromFloat64(nan64())))
+			for i := range xs {
+				var v uint32
+				switch fparith.Cmp32(fparith.F32(xs[i]), fparith.F32(ys[i])) {
+				case -1:
+					v = negOne
+				case 0:
+					v = 0
+				case 1:
+					v = one
+				case 2: // unordered: a NaN operand
+					inv = true
+					v = qnan
+				}
+				inv, ovf = note32(v, inv, ovf)
+				zs[i] = v
 			}
 		}
+		u.mem.FlushRowF32s(op.Z, zs, n)
+
 	case Dot:
-		s := u.reduce32(n, func(i int) fparith.F32 {
-			v := fparith.Mul32(x(i), y(i))
-			res.Status.note32(v)
-			return v
-		})
-		res.Status.note32(s)
+		xs := u.mem.RowF32s(op.X)[:n]
+		ys := u.mem.RowF32s(op.Y)[:n]
+		d := u.Adder.Depth(P32)
+		var accBuf [maxPipeDepth]fparith.F32
+		var seenBuf [maxPipeDepth]bool
+		acc, seen := accBuf[:d], seenBuf[:d]
+		j := 0
+		for i := range xs {
+			v := fparith.Mul32(fparith.F32(xs[i]), fparith.F32(ys[i]))
+			inv, ovf = note32(uint32(v), inv, ovf)
+			if !seen[j] {
+				acc[j], seen[j] = v, true
+			} else {
+				acc[j] = fparith.Add32(acc[j], v)
+			}
+			if j++; j == d {
+				j = 0
+			}
+		}
+		s := drain32(acc, seen)
+		inv, ovf = note32(uint32(s), inv, ovf)
 		res.Scalar = fparith.To64(s)
+
 	case Sum:
-		s := u.reduce32(n, x)
-		res.Status.note32(s)
+		xs := u.mem.RowF32s(op.X)[:n]
+		d := u.Adder.Depth(P32)
+		var accBuf [maxPipeDepth]fparith.F32
+		var seenBuf [maxPipeDepth]bool
+		acc, seen := accBuf[:d], seenBuf[:d]
+		j := 0
+		for i := range xs {
+			v := fparith.F32(xs[i])
+			if !seen[j] {
+				acc[j], seen[j] = v, true
+			} else {
+				acc[j] = fparith.Add32(acc[j], v)
+			}
+			if j++; j == d {
+				j = 0
+			}
+		}
+		s := drain32(acc, seen)
+		inv, ovf = note32(uint32(s), inv, ovf)
 		res.Scalar = fparith.To64(s)
+
 	case VMax, VMin:
+		xs := u.mem.RowF32s(op.X)[:n]
 		want := 1
 		if op.Form == VMin {
 			want = -1
 		}
-		best := x(0)
+		best := fparith.F32(xs[0])
 		for i := 1; i < n; i++ {
-			c := fparith.Cmp32(x(i), best)
+			c := fparith.Cmp32(fparith.F32(xs[i]), best)
 			if c == 2 {
-				res.Status.Invalid = true
+				inv = true
 				continue
 			}
 			if c == want {
-				best = x(i)
+				best = fparith.F32(xs[i])
 			}
 		}
 		res.Scalar = fparith.To64(best)
+
 	case Cvt64to32, Cvt32to64:
 		return res, fmt.Errorf("fpu: conversion forms run in 64-bit mode")
+
 	default:
 		return res, fmt.Errorf("fpu: unknown form %v", op.Form)
 	}
+	res.Status.Invalid = inv
+	res.Status.Overflow = ovf
 	return res, nil
 }

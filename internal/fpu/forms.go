@@ -55,10 +55,8 @@ func (f Form) String() string {
 	return "FORM?"
 }
 
-// usesX reports whether the form reads vector operand X (all do).
-func (f Form) usesX() bool { return true }
-
-// usesY reports whether the form reads vector operand Y.
+// usesY reports whether the form reads vector operand Y. (Every form
+// reads X, so there is no usesX counterpart.)
 func (f Form) usesY() bool {
 	switch f {
 	case VAdd, VSub, VMul, SAXPY, Dot, VCmp:

@@ -1,0 +1,48 @@
+package fpu
+
+import (
+	"testing"
+
+	"tseries/internal/fparith"
+	"tseries/internal/memory"
+	"tseries/internal/sim"
+)
+
+// benchForm measures one vector form end to end through Unit.Run: operand
+// fetch, element arithmetic, status accumulation, and result store. The
+// per-element figure (ns/op divided by the element count via SetBytes) is
+// the datapath throughput the fast-lane work targets.
+func benchForm(b *testing.B, form Form, prec Precision) {
+	k := sim.NewKernel()
+	m := memory.New(k, "b")
+	u := New(k, "b", m)
+	n := ElemsPerRow(prec)
+	for i := 0; i < memory.F64PerRow; i++ {
+		m.PokeF64(i, fparith.FromFloat64(1.5+float64(i)))                   // row 0 (X)
+		m.PokeF64(memory.F64PerRow+i, fparith.FromFloat64(2.25+float64(i))) // row 1 (Y)
+	}
+	op := Op{Form: form, Prec: prec, X: 0, Y: 1, Z: 300, A: fparith.FromFloat64(1.000244140625)}
+	b.ReportAllocs()
+	b.SetBytes(int64(n)) // elements per op → "MB/s" reads as Melem/s
+	b.ResetTimer()
+	k.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Run(p, op); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	k.Run(0)
+}
+
+func BenchmarkForm_VAdd64(b *testing.B)  { benchForm(b, VAdd, P64) }
+func BenchmarkForm_VMul64(b *testing.B)  { benchForm(b, VMul, P64) }
+func BenchmarkForm_SAXPY64(b *testing.B) { benchForm(b, SAXPY, P64) }
+func BenchmarkForm_Dot64(b *testing.B)   { benchForm(b, Dot, P64) }
+func BenchmarkForm_Sum64(b *testing.B)   { benchForm(b, Sum, P64) }
+func BenchmarkForm_VCmp64(b *testing.B)  { benchForm(b, VCmp, P64) }
+func BenchmarkForm_VMax64(b *testing.B)  { benchForm(b, VMax, P64) }
+func BenchmarkForm_SAXPY32(b *testing.B) { benchForm(b, SAXPY, P32) }
+func BenchmarkForm_Dot32(b *testing.B)   { benchForm(b, Dot, P32) }
+func BenchmarkForm_VAdd32(b *testing.B)  { benchForm(b, VAdd, P32) }

@@ -283,9 +283,20 @@ func (s *Sublink) Send(p *sim.Proc, data []byte) error {
 		return fmt.Errorf("link: empty transfer on %s", s.Name())
 	}
 	l := s.parent
+	// The frame is staged once, at the first attempt that actually
+	// drives the wire: one copy of the payload (so the caller may reuse
+	// its buffer immediately) and one checksum, both shared by every
+	// retransmission of this Send. Ownership passes to the receiver on
+	// delivery; a frame that is never delivered goes back to the pool.
+	var frame []byte
+	var sum uint32
 	timeouts := 0
 	for {
-		delivered, acked, err := s.attempt(p, data)
+		if frame == nil && s.Up() {
+			frame = stageFrame(data)
+			sum = Checksum(frame)
+		}
+		delivered, acked, err := s.attempt(p, frame, sum)
 		if delivered {
 			return err
 		}
@@ -299,16 +310,18 @@ func (s *Sublink) Send(p *sim.Proc, data []byte) error {
 		timeouts++
 		if timeouts >= MaxSendAttempts {
 			l.Drops++
+			putFrame(frame)
 			return &DownError{Sublink: s.Name(), Attempts: timeouts}
 		}
 		p.Wait(RetryBackoff(timeouts))
 	}
 }
 
-// attempt performs one transmission. delivered means the frame reached
-// the peer (or the send must not be retried); acked distinguishes a
-// nack (checksum reject from a live peer) from silence (dead wire).
-func (s *Sublink) attempt(p *sim.Proc, data []byte) (delivered, acked bool, err error) {
+// attempt performs one transmission of the staged frame. delivered means
+// the frame reached the peer (or the send must not be retried); acked
+// distinguishes a nack (checksum reject from a live peer) from silence
+// (dead wire). frame is nil exactly when the channel is down.
+func (s *Sublink) attempt(p *sim.Proc, frame []byte, sum uint32) (delivered, acked bool, err error) {
 	l := s.parent
 	if s.down || s.peer.down {
 		// The DMA arms and drives the first bytes, but no acknowledge
@@ -317,27 +330,31 @@ func (s *Sublink) attempt(p *sim.Proc, data []byte) (delivered, acked bool, err 
 		l.Timeouts++
 		return false, false, nil
 	}
-	l.wire.Use(p, DMAStartup+sim.Duration(len(data))*ByteTime)
-	l.BytesSent += int64(len(data))
-	l.k.Count("link.bytes", int64(len(data)))
+	l.wire.Use(p, DMAStartup+sim.Duration(len(frame))*ByteTime)
+	l.BytesSent += int64(len(frame))
+	l.k.Count("link.bytes", int64(len(frame)))
 	l.Transfers++
-	// Deliver a copy: the sender may reuse its buffer immediately.
-	payload := append([]byte(nil), data...)
-	sum := Checksum(data)
 	if l.injector != nil {
-		if bad := l.injector.Corrupt(s.Name(), payload); bad != nil {
+		// Corrupt never mutates its argument — it returns nil or a
+		// fresh damaged copy — so the master frame stays pristine for
+		// retransmission.
+		if bad := l.injector.Corrupt(s.Name(), frame); bad != nil {
 			l.Corrupted++
 			if Checksum(bad) != sum {
 				// Receiver's checksum rejects the frame: nack.
 				return false, true, nil
 			}
 			// The corruption slipped past the checksum — delivered
-			// wrong, counted as an uncorrected error.
+			// wrong, counted as an uncorrected error. The damaged copy
+			// (owned by the injector call) goes to the receiver; the
+			// clean master is recycled.
 			l.Undetected++
-			payload = bad
+			s.peer.inbox.Send(p, Message{Data: bad, From: s.Name(), Checksum: sum})
+			putFrame(frame)
+			return true, true, nil
 		}
 	}
-	s.peer.inbox.Send(p, Message{Data: payload, From: s.Name(), Checksum: sum})
+	s.peer.inbox.Send(p, Message{Data: frame, From: s.Name(), Checksum: sum})
 	return true, true, nil
 }
 

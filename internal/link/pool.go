@@ -1,0 +1,33 @@
+package link
+
+import "sync"
+
+// framePool recycles frame buffers. Delivered frames pass to the
+// receiver and never come back; the pool reclaims frames from the paths
+// that would otherwise leak a staged copy — a Send abandoned with a
+// DownError, and a master frame displaced by an undetected-corruption
+// delivery. It is shared process-wide (kernels in a parallel sweep all
+// draw from it), hence sync.Pool rather than a free list.
+var framePool sync.Pool
+
+// stageFrame returns a private copy of data for transmission. A pool
+// miss — the steady state, since delivered frames never come back — is
+// a single append-style allocation (no redundant zeroing), exactly what
+// the unpooled path cost.
+func stageFrame(data []byte) []byte {
+	if bp, ok := framePool.Get().(*[]byte); ok && cap(*bp) >= len(data) {
+		f := (*bp)[:len(data)]
+		copy(f, data)
+		return f
+	}
+	return append([]byte(nil), data...)
+}
+
+// putFrame recycles a buffer obtained from getFrame (nil is a no-op).
+// The caller must not retain the slice afterwards.
+func putFrame(b []byte) {
+	if b == nil {
+		return
+	}
+	framePool.Put(&b)
+}

@@ -11,6 +11,7 @@
 package memory
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -70,7 +71,12 @@ func (e *ParityError) Error() string {
 // setup (they model the state a program would have built earlier).
 type Memory struct {
 	data   []byte
-	parity []byte // one parity bit per byte, bit-packed
+	parity []byte // one parity bit per byte, bit-packed (see parity.go)
+
+	// faulted counts FlipBit calls. While zero (the universal case
+	// outside fault experiments) every stored parity bit is known to
+	// match its byte, so reads skip validation entirely.
+	faulted int64
 
 	// wordPort serialises random access by the control processor and the
 	// link DMA engines.
@@ -97,59 +103,42 @@ func New(k *sim.Kernel, name string) *Memory {
 	return m
 }
 
-func (m *Memory) setParity(addr int) {
-	b := m.data[addr]
-	p := byte(bits.OnesCount8(b) & 1)
-	idx, bit := addr/8, uint(addr%8)
-	m.parity[idx] = m.parity[idx]&^(1<<bit) | p<<bit
-}
-
-func (m *Memory) checkParity(addr int) error {
-	b := m.data[addr]
-	p := byte(bits.OnesCount8(b) & 1)
-	idx, bit := addr/8, uint(addr%8)
-	if (m.parity[idx]>>bit)&1 != p {
-		return &ParityError{Addr: addr}
-	}
-	return nil
-}
-
 // FlipBit corrupts one data bit without updating parity, modelling a
 // transient DRAM fault; the next read of that byte reports a ParityError.
 func (m *Memory) FlipBit(addr int, bit uint) {
 	m.data[addr] ^= 1 << (bit % 8)
+	m.faulted++
 }
 
 // Untimed accessors (setup/inspection).
 
 // PokeWord stores a 32-bit word at word index w without consuming time.
+// Words are 4-aligned, so their four parity bits occupy one nibble of a
+// single summary byte, updated in one masked merge.
 func (m *Memory) PokeWord(w int, v uint32) {
 	a := w * 4
-	m.data[a] = byte(v)
-	m.data[a+1] = byte(v >> 8)
-	m.data[a+2] = byte(v >> 16)
-	m.data[a+3] = byte(v >> 24)
-	for i := 0; i < 4; i++ {
-		m.setParity(a + i)
-	}
+	binary.LittleEndian.PutUint32(m.data[a:], v)
+	sh := uint(a % 8) // 0 or 4
+	mask := byte(0x0F << sh)
+	m.parity[a/8] = m.parity[a/8]&^mask | parityNibbleOf(v)<<sh
 }
 
 // PeekWord loads the 32-bit word at word index w without consuming time.
 func (m *Memory) PeekWord(w int) uint32 {
-	a := w * 4
-	return uint32(m.data[a]) | uint32(m.data[a+1])<<8 |
-		uint32(m.data[a+2])<<16 | uint32(m.data[a+3])<<24
+	return binary.LittleEndian.Uint32(m.data[w*4:])
 }
 
-// PokeF64 stores a 64-bit float at 64-bit element index e.
+// PokeF64 stores a 64-bit float at 64-bit element index e. The eight
+// bytes cover exactly one parity summary byte.
 func (m *Memory) PokeF64(e int, v fparith.F64) {
-	m.PokeWord(2*e, uint32(v))
-	m.PokeWord(2*e+1, uint32(uint64(v)>>32))
+	a := e * 8
+	binary.LittleEndian.PutUint64(m.data[a:], uint64(v))
+	m.parity[a/8] = parityByteOf(uint64(v))
 }
 
 // PeekF64 loads the 64-bit float at 64-bit element index e.
 func (m *Memory) PeekF64(e int) fparith.F64 {
-	return fparith.F64(uint64(m.PeekWord(2*e)) | uint64(m.PeekWord(2*e+1))<<32)
+	return fparith.F64(binary.LittleEndian.Uint64(m.data[e*8:]))
 }
 
 // PokeF32 stores a 32-bit float at 32-bit element index e.
@@ -164,8 +153,8 @@ func (m *Memory) PeekF32(e int) fparith.F32 { return fparith.F32(m.PeekWord(e)) 
 func (m *Memory) ReadWord(p *sim.Proc, w int) (uint32, error) {
 	m.wordPort.Use(p, sim.WordAccess)
 	m.WordReads++
-	for i := 0; i < 4; i++ {
-		if err := m.checkParity(w*4 + i); err != nil {
+	if m.faulted != 0 {
+		if err := m.validateRange(w*4, 4); err != nil {
 			return 0, err
 		}
 	}
@@ -202,7 +191,9 @@ func (m *Memory) Write64(p *sim.Proc, e int, v fparith.F64) {
 // PokeByte stores one byte (untimed, parity updated).
 func (m *Memory) PokeByte(addr int, v byte) {
 	m.data[addr] = v
-	m.setParity(addr)
+	p := byte(bits.OnesCount8(v) & 1)
+	idx, bit := addr/8, uint(addr%8)
+	m.parity[idx] = m.parity[idx]&^(1<<bit) | p<<bit
 }
 
 // PeekByte loads one byte (untimed, no parity check).
@@ -211,9 +202,7 @@ func (m *Memory) PeekByte(addr int) byte { return m.data[addr] }
 // PokeBytes stores a block (untimed) — program loading, DMA completion.
 func (m *Memory) PokeBytes(addr int, b []byte) {
 	copy(m.data[addr:addr+len(b)], b)
-	for i := range b {
-		m.setParity(addr + i)
-	}
+	m.refreshParity(addr, len(b))
 }
 
 // PeekBytes copies a block out (untimed).

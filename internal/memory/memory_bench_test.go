@@ -1,0 +1,93 @@
+package memory
+
+import (
+	"testing"
+
+	"tseries/internal/fparith"
+	"tseries/internal/sim"
+)
+
+func BenchmarkRowLoad(b *testing.B) {
+	k := sim.NewKernel()
+	m := New(k, "b")
+	for i := 0; i < F64PerRow; i++ {
+		m.PokeF64(i, fparith.FromInt64(int64(i)))
+	}
+	var reg VectorReg
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := m.LoadRow(p, 0, &reg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	k.Run(0)
+	b.SetBytes(RowBytes)
+}
+
+func BenchmarkRowStore(b *testing.B) {
+	k := sim.NewKernel()
+	m := New(k, "b")
+	var reg VectorReg
+	for i := 0; i < F64PerRow; i++ {
+		reg.SetF64(i, fparith.FromInt64(int64(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := m.StoreRow(p, 0, &reg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	k.Run(0)
+	b.SetBytes(RowBytes)
+}
+
+func BenchmarkMoveRow(b *testing.B) {
+	k := sim.NewKernel()
+	m := New(k, "b")
+	var scratch VectorReg
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := m.MoveRow(p, 300, 0, &scratch); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	k.Run(0)
+	b.SetBytes(RowBytes)
+}
+
+func BenchmarkPokeWord(b *testing.B) {
+	k := sim.NewKernel()
+	m := New(k, "b")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PokeWord(i%Words, uint32(i))
+	}
+}
+
+func BenchmarkPokeBytes(b *testing.B) {
+	k := sim.NewKernel()
+	m := New(k, "b")
+	buf := make([]byte, RowBytes)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.SetBytes(RowBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PokeBytes(0, buf)
+	}
+}

@@ -1,0 +1,109 @@
+package memory
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Parity engine. One parity bit guards each byte of the store; the bits
+// are packed eight to a byte in m.parity, so the parity byte at index i
+// summarises the eight data bytes at addresses 8i..8i+7 (bit b of the
+// summary is the parity of data byte 8i+b). All maintenance is done a
+// word at a time: writes fold the parity of eight (or four) bytes in a
+// handful of ALU ops, and validation compares whole summary bytes,
+// falling back to a per-bit scan only to localise a detected fault.
+//
+// m.faulted counts FlipBit calls. While it is zero — the universal case
+// outside fault-injection experiments — every byte's stored parity is
+// known to match its data (all write paths restore it), so reads skip
+// validation entirely and a row load is a plain copy.
+
+// parityByteOf folds one 64-bit little-endian data word into its parity
+// summary byte: bit b is the (odd) parity of byte b of w. The xor ladder
+// reduces each byte to its parity in the byte's LSB; the multiply
+// gathers the eight LSBs into the top byte (each (byte k, multiplier
+// byte j) product lands at bit 8k+7j+7, all 64 positions distinct, so no
+// carries interfere).
+func parityByteOf(w uint64) byte {
+	w ^= w >> 4
+	w ^= w >> 2
+	w ^= w >> 1
+	return byte((w & 0x0101010101010101) * 0x0102040810204080 >> 56)
+}
+
+// parityNibbleOf is the 32-bit variant: bit b (b in 0..3) is the parity
+// of byte b of w.
+func parityNibbleOf(w uint32) byte {
+	w ^= w >> 4
+	w ^= w >> 2
+	w ^= w >> 1
+	return byte((w & 0x01010101) * 0x01020408 >> 24)
+}
+
+// refreshParity recomputes the stored parity summaries for the data
+// bytes in [addr, addr+n), leaving bits that guard bytes outside the
+// range untouched. Interior 8-byte groups cost one load and one
+// parityByteOf each.
+func (m *Memory) refreshParity(addr, n int) {
+	if n <= 0 {
+		return
+	}
+	end := addr + n
+	if r := addr % 8; r != 0 {
+		g := addr - r
+		stop := min(g+8, end)
+		m.patchParity(g, r, stop-g)
+		addr = stop
+	}
+	for ; addr+8 <= end; addr += 8 {
+		m.parity[addr/8] = parityByteOf(binary.LittleEndian.Uint64(m.data[addr:]))
+	}
+	if addr < end {
+		m.patchParity(addr, 0, end-addr)
+	}
+}
+
+// patchParity recomputes parity bits [lo, hi) of the summary byte that
+// guards the 8-byte group starting at g (g must be 8-aligned).
+func (m *Memory) patchParity(g, lo, hi int) {
+	p := parityByteOf(binary.LittleEndian.Uint64(m.data[g:]))
+	mask := byte(1<<uint(hi)-1) &^ byte(1<<uint(lo)-1)
+	m.parity[g/8] = m.parity[g/8]&^mask | p&mask
+}
+
+// validateRange compares the stored parity summaries against the data in
+// [addr, addr+n) and reports the first (lowest-address) mismatched byte
+// as a ParityError — the same fault a sequential per-byte check on the
+// hardware's row stream would flag first.
+func (m *Memory) validateRange(addr, n int) error {
+	end := addr + n
+	if r := addr % 8; r != 0 {
+		g := addr - r
+		stop := min(g+8, end)
+		if err := m.validateGroup(g, r, stop-g); err != nil {
+			return err
+		}
+		addr = stop
+	}
+	for ; addr+8 <= end; addr += 8 {
+		if m.parity[addr/8] != parityByteOf(binary.LittleEndian.Uint64(m.data[addr:])) {
+			return m.validateGroup(addr, 0, 8)
+		}
+	}
+	if addr < end {
+		return m.validateGroup(addr, 0, end-addr)
+	}
+	return nil
+}
+
+// validateGroup checks parity bits [lo, hi) of the group at g (8-aligned)
+// and localises the lowest mismatched byte.
+func (m *Memory) validateGroup(g, lo, hi int) error {
+	p := parityByteOf(binary.LittleEndian.Uint64(m.data[g:]))
+	mask := byte(1<<uint(hi)-1) &^ byte(1<<uint(lo)-1)
+	diff := (p ^ m.parity[g/8]) & mask
+	if diff == 0 {
+		return nil
+	}
+	return &ParityError{Addr: g + bits.TrailingZeros8(diff)}
+}

@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"tseries/internal/fparith"
@@ -24,9 +25,8 @@ func (m *Memory) LoadRow(p *sim.Proc, row int, r *VectorReg) error {
 	}
 	m.bankPort[BankOf(row)].Use(p, sim.RowAccess)
 	m.RowLoads++
-	base := RowAddr(row)
-	for i := 0; i < RowBytes; i++ {
-		if err := m.checkParity(base + i); err != nil {
+	if m.faulted != 0 {
+		if err := m.validateRange(RowAddr(row), RowBytes); err != nil {
 			return err
 		}
 	}
@@ -42,11 +42,8 @@ func (m *Memory) StoreRow(p *sim.Proc, row int, r *VectorReg) error {
 	}
 	m.bankPort[BankOf(row)].Use(p, sim.RowAccess)
 	m.RowStores++
-	base := RowAddr(row)
 	copy(m.rowSlice(row), r.buf[:])
-	for i := 0; i < RowBytes; i++ {
-		m.setParity(base + i)
-	}
+	m.refreshParity(RowAddr(row), RowBytes)
 	return nil
 }
 
@@ -71,38 +68,22 @@ func (m *Memory) WordPort() *sim.Resource { return m.wordPort }
 
 // F64 returns 64-bit element i of the register (i in 0..127).
 func (r *VectorReg) F64(i int) fparith.F64 {
-	a := i * 8
-	var v uint64
-	for b := 7; b >= 0; b-- {
-		v = v<<8 | uint64(r.buf[a+b])
-	}
-	return fparith.F64(v)
+	return fparith.F64(binary.LittleEndian.Uint64(r.buf[i*8:]))
 }
 
 // SetF64 stores 64-bit element i of the register.
 func (r *VectorReg) SetF64(i int, v fparith.F64) {
-	a := i * 8
-	u := uint64(v)
-	for b := 0; b < 8; b++ {
-		r.buf[a+b] = byte(u >> (8 * uint(b)))
-	}
+	binary.LittleEndian.PutUint64(r.buf[i*8:], uint64(v))
 }
 
 // F32 returns 32-bit element i of the register (i in 0..255).
 func (r *VectorReg) F32(i int) fparith.F32 {
-	a := i * 4
-	return fparith.F32(uint32(r.buf[a]) | uint32(r.buf[a+1])<<8 |
-		uint32(r.buf[a+2])<<16 | uint32(r.buf[a+3])<<24)
+	return fparith.F32(binary.LittleEndian.Uint32(r.buf[i*4:]))
 }
 
 // SetF32 stores 32-bit element i of the register.
 func (r *VectorReg) SetF32(i int, v fparith.F32) {
-	a := i * 4
-	u := uint32(v)
-	r.buf[a] = byte(u)
-	r.buf[a+1] = byte(u >> 8)
-	r.buf[a+2] = byte(u >> 16)
-	r.buf[a+3] = byte(u >> 24)
+	binary.LittleEndian.PutUint32(r.buf[i*4:], uint32(v))
 }
 
 // Bytes exposes the raw register contents (for link DMA staging).
