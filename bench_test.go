@@ -7,6 +7,8 @@ package tseries
 // regenerates the paper's numbers alongside host-side cost.
 
 import (
+	"context"
+
 	"testing"
 
 	"tseries/internal/core"
@@ -18,7 +20,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	var last *core.Result
 	for i := 0; i < b.N; i++ {
-		r, err := RunExperiment(id)
+		r, err := RunExperiment(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +45,7 @@ func main() {
 			failed = true
 			continue
 		}
-		r, err := e.Run()
+		r, err := e.Run(context.Background())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			failed = true

@@ -19,11 +19,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -35,10 +38,26 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+	// SIGINT cancels the active run through the context path: in-flight
+	// kernels tear down at their next event boundary, no partial JSON is
+	// emitted, and tsim exits 130 (128+SIGINT) instead of dying
+	// mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Stdout, os.Stderr, os.Args[1:]))
 }
 
-func run(stdout, stderr io.Writer, args []string) int {
+// interruptExit is the conventional exit status for a SIGINT-terminated
+// process (128 + signal number).
+const interruptExit = 130
+
+// interrupted reports whether err is the run context's cancellation
+// surfacing through a runner.
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("tsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list experiments and workloads, then exit")
@@ -72,6 +91,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 	}
 	cfg.Pad = sim.Duration(pad.Nanoseconds()) * sim.Nanosecond
 	cfg.Ckpt = sim.Duration(ckpt.Nanoseconds()) * sim.Nanosecond
+	cfg.Ctx = ctx
 	if *faults != "" {
 		plan, err := fault.Parse(*faults)
 		if err != nil {
@@ -116,9 +136,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 	case *benchMode:
 		return runBench(stdout, stderr, *benchDir, *benchBaseline, *benchSuiteBaseline, *short)
 	case *experiment != "":
-		return runExperiments(stdout, stderr, *experiment, *parallel, *jsonOut)
+		return runExperiments(ctx, stdout, stderr, *experiment, *parallel, *jsonOut)
 	case *workload != "":
-		return runWorkload(stdout, stderr, *workload, cfg, *sweep, *parallel, *jsonOut)
+		return runWorkload(ctx, stdout, stderr, *workload, cfg, *sweep, *parallel, *jsonOut)
 	default:
 		fs.Usage()
 		fmt.Fprintln(stderr)
@@ -163,7 +183,7 @@ type expJSON struct {
 	Output  string             `json:"output"`
 }
 
-func runExperiments(stdout, stderr io.Writer, spec string, parallel int, jsonOut bool) int {
+func runExperiments(ctx context.Context, stdout, stderr io.Writer, spec string, parallel int, jsonOut bool) int {
 	var exps []core.Experiment
 	if spec == "all" {
 		exps = core.All()
@@ -177,8 +197,12 @@ func runExperiments(stdout, stderr io.Writer, spec string, parallel int, jsonOut
 			exps = append(exps, e)
 		}
 	}
-	results, err := core.RunSuite(exps, parallel)
+	results, err := core.RunSuite(ctx, exps, parallel)
 	if err != nil {
+		if interrupted(err) {
+			fmt.Fprintln(stderr, "tsim: interrupted")
+			return interruptExit
+		}
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
@@ -202,7 +226,7 @@ type pointJSON struct {
 	Error  string            `json:"error,omitempty"`
 }
 
-func runWorkload(stdout, stderr io.Writer, name string, cfg workloads.Config, sweep string, parallel int, jsonOut bool) int {
+func runWorkload(ctx context.Context, stdout, stderr io.Writer, name string, cfg workloads.Config, sweep string, parallel int, jsonOut bool) int {
 	if sweep != "" {
 		var lo, hi int
 		if n, err := fmt.Sscanf(sweep, "dim=%d..%d", &lo, &hi); n != 2 || err != nil || lo > hi {
@@ -213,8 +237,12 @@ func runWorkload(stdout, stderr io.Writer, name string, cfg workloads.Config, sw
 		for d := lo; d <= hi; d++ {
 			dims = append(dims, d)
 		}
-		points, err := core.RunSweep(name, cfg, dims, parallel)
+		points, err := core.RunSweep(ctx, name, cfg, dims, parallel)
 		if err != nil {
+			if interrupted(err) {
+				fmt.Fprintln(stderr, "tsim: interrupted")
+				return interruptExit
+			}
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
@@ -256,6 +284,10 @@ func runWorkload(stdout, stderr io.Writer, name string, cfg workloads.Config, sw
 	}
 	rep, err := r.Run(cfg)
 	if err != nil {
+		if interrupted(err) {
+			fmt.Fprintln(stderr, "tsim: interrupted")
+			return interruptExit
+		}
 		fmt.Fprintln(stderr, err)
 		return 1
 	}

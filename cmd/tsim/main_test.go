@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/json"
 	"os"
@@ -12,7 +14,7 @@ import (
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code = run(&out, &errb, args)
+	code = run(context.Background(), &out, &errb, args)
 	return code, out.String(), errb.String()
 }
 
@@ -68,6 +70,31 @@ func TestBadSweepSpec(t *testing.T) {
 	code, _, stderr := runCLI(t, "-workload", "saxpy", "-sweep", "nodes=1..4")
 	if code != 2 || !strings.Contains(stderr, "dim=LO..HI") {
 		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+}
+
+// Interrupt semantics: a canceled run context must exit 130 (128 +
+// SIGINT), report the interrupt on stderr, and emit no partial JSON on
+// stdout — downstream pipes see either a complete document or nothing.
+func TestInterruptExits130AndSuppressesJSON(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, args := range [][]string{
+		{"-workload", "saxpy", "-dim", "2", "-rows", "50", "-json"},
+		{"-workload", "saxpy", "-sweep", "dim=1..3", "-rows", "50", "-json"},
+		{"-experiment", "E1", "-json"},
+	} {
+		var out, errb bytes.Buffer
+		code := run(ctx, &out, &errb, args)
+		if code != interruptExit {
+			t.Fatalf("%v: exit = %d, want %d (stderr: %s)", args, code, interruptExit, errb.String())
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%v: interrupted run wrote partial output:\n%s", args, out.String())
+		}
+		if !strings.Contains(errb.String(), "interrupted") {
+			t.Fatalf("%v: stderr %q does not mention the interrupt", args, errb.String())
+		}
 	}
 }
 

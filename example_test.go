@@ -1,6 +1,8 @@
 package tseries_test
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries"
@@ -64,7 +66,7 @@ func ExampleSpecFor() {
 
 // ExampleRunExperiment regenerates one of the paper's claims.
 func ExampleRunExperiment() {
-	r, err := tseries.RunExperiment("E3")
+	r, err := tseries.RunExperiment(context.Background(), "E3")
 	if err != nil {
 		panic(err)
 	}

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"math"
@@ -29,7 +31,7 @@ func main() {
 	table := stats.NewTable("1024-point FFT on the butterfly mapping",
 		"nodes", "exchange stages", "local stages", "simulated time", "max |err|")
 	for _, dim := range []int{0, 1, 2, 3, 4} {
-		res, err := workloads.DistributedFFT(dim, in)
+		res, err := workloads.DistributedFFT(context.Background(), dim, in)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +50,7 @@ func main() {
 	fmt.Println(table)
 
 	// Show the two tones landed in the right bins.
-	res, _ := workloads.DistributedFFT(3, in)
+	res, _ := workloads.DistributedFFT(context.Background(), 3, in)
 	fmt.Println("spectral peaks (8-node run):")
 	for _, bin := range []int{17, 111} {
 		fmt.Printf("  bin %4d: |X| = %.1f\n", bin, cmplx.Abs(res.Out[bin]))

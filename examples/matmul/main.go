@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,7 +30,7 @@ func main() {
 			if n%procs != 0 {
 				continue
 			}
-			res, err := workloads.DistributedMatMul(dim, n, a, b)
+			res, err := workloads.DistributedMatMul(context.Background(), dim, n, a, b)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -47,7 +49,7 @@ func main() {
 	// Verify the largest distributed run against a host reference.
 	n := 128
 	a, b := randMat(r, n), randMat(r, n)
-	res, err := workloads.DistributedMatMul(1, n, a, b)
+	res, err := workloads.DistributedMatMul(context.Background(), 1, n, a, b)
 	if err != nil {
 		log.Fatal(err)
 	}

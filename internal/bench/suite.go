@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"time"
 
 	"tseries/internal/core"
@@ -54,7 +56,7 @@ func MeasureSuite(short bool) SuiteTrajectory {
 	t := SuiteTrajectory{Schema: SuiteSchema, Short: short}
 	for _, e := range core.All() {
 		t0 := time.Now()
-		_, err := e.Run()
+		_, err := e.Run(context.Background())
 		et := ExperimentTiming{ID: e.ID, Title: e.Title, WallNs: time.Since(t0).Nanoseconds()}
 		if err != nil {
 			et.Error = err.Error()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -70,7 +72,7 @@ func runExp(t *testing.T, id string) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := e.Run()
+	r, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tseries/internal/fparith"
 	"tseries/internal/fpu"
 	"tseries/internal/memory"
@@ -11,8 +13,8 @@ import (
 
 // arithRig builds a single node with operand rows staged in opposite
 // banks (X at row 0 in bank A, Y at row 300 in bank B).
-func arithRig() (*sim.Kernel, *node.Node) {
-	k := sim.NewKernel()
+func arithRig(ctx context.Context) (*sim.Kernel, *node.Node) {
+	k := sim.NewKernelCtx(ctx)
 	nd := node.New(k, 0)
 	for i := 0; i < memory.F64PerRow; i++ {
 		nd.Mem.PokeF64(i, fparith.FromFloat64(float64(i)*0.5))
@@ -25,9 +27,9 @@ func arithRig() (*sim.Kernel, *node.Node) {
 // forms: the adder and multiplier each retire one result per 125 ns, so
 // the peak is 16 MFLOPS and a sustained row-after-row SAXPY run lands
 // just below it (pipeline fill and row transfers are the only overhead).
-func E1NodePeak() (*Result, error) {
+func E1NodePeak(ctx context.Context) (*Result, error) {
 	r := newResult("E1", "Node peak arithmetic rate")
-	k, nd := arithRig()
+	k, nd := arithRig(ctx)
 	const rows = 256
 	var flops int64
 	k.Go("saxpy", func(p *sim.Proc) {
@@ -60,10 +62,10 @@ func E1NodePeak() (*Result, error) {
 // E7PipelineDepths recovers the pipeline depths from timing alone: the
 // difference between an N=1 and N=1+k vector form is k cycles, and the
 // N=1 time exposes the fill.
-func E7PipelineDepths() (*Result, error) {
+func E7PipelineDepths(ctx context.Context) (*Result, error) {
 	r := newResult("E7", "Pipeline depths")
 	measure := func(form fpu.Form, prec fpu.Precision) int {
-		k, nd := arithRig()
+		k, nd := arithRig(ctx)
 		var fillCycles int
 		k.Go("m", func(p *sim.Proc) {
 			r1, err := nd.RunForm(p, fpu.Op{Form: form, Prec: prec, X: 0, Y: 300, Z: 301, N: 1, A: fparith.FromFloat64(1)})
@@ -99,9 +101,9 @@ func E7PipelineDepths() (*Result, error) {
 // E13VectorForms shows the feedback paths: DOT and SUM stream one
 // element per cycle with the adder output fed back as an input — "a wide
 // range of useful vector forms without memory reference limitations".
-func E13VectorForms() (*Result, error) {
+func E13VectorForms(ctx context.Context) (*Result, error) {
 	r := newResult("E13", "Vector forms with feedback")
-	k, nd := arithRig()
+	k, nd := arithRig(ctx)
 	var dotRes, sumRes fpu.Result
 	k.Go("m", func(p *sim.Proc) {
 		var err error
@@ -138,10 +140,10 @@ func E13VectorForms() (*Result, error) {
 // A1SingleBank removes the dual-bank organisation: with one bank a
 // dyadic form gets one operand per cycle, halving the streaming rate —
 // the paper's §II argument for splitting memory into banks A and B.
-func A1SingleBank() (*Result, error) {
+func A1SingleBank(ctx context.Context) (*Result, error) {
 	r := newResult("A1", "Single-bank memory ablation")
 	run := func(single bool) sim.Duration {
-		k, nd := arithRig()
+		k, nd := arithRig(ctx)
 		nd.FPU.SingleBankMode = single
 		var e sim.Duration
 		k.Go("m", func(p *sim.Proc) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries/internal/comm"
@@ -13,18 +15,18 @@ import (
 // reason the Figure 3 mappings matter) against a naive root-sends-to-all
 // loop on the same hardware: the tree spreads forwarding over all nodes
 // and links, the naive loop serialises on the root's four links.
-func A6BroadcastTree() (*Result, error) {
+func A6BroadcastTree(ctx context.Context) (*Result, error) {
 	r := newResult("A6", "Broadcast: binomial tree vs naive root loop")
 	const payload = 4096
 	t := stats.NewTable(fmt.Sprintf("%d-byte broadcast completion time", payload),
 		"nodes", "binomial tree", "naive root loop", "speedup")
 	var speedup16 float64
 	for _, dim := range []int{2, 3, 4} {
-		tree, err := runBroadcast(dim, payload, true)
+		tree, err := runBroadcast(ctx, dim, payload, true)
 		if err != nil {
 			return nil, err
 		}
-		naive, err := runBroadcast(dim, payload, false)
+		naive, err := runBroadcast(ctx, dim, payload, false)
 		if err != nil {
 			return nil, err
 		}
@@ -40,8 +42,8 @@ func A6BroadcastTree() (*Result, error) {
 	return r, nil
 }
 
-func runBroadcast(dim, payload int, tree bool) (sim.Duration, error) {
-	k := sim.NewKernel()
+func runBroadcast(ctx context.Context, dim, payload int, tree bool) (sim.Duration, error) {
+	k := sim.NewKernelCtx(ctx)
 	nodes := make([]*node.Node, 1<<uint(dim))
 	for i := range nodes {
 		nodes[i] = node.New(k, i)

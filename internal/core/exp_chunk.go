@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tseries/internal/comm"
 	"tseries/internal/node"
 	"tseries/internal/sim"
@@ -12,13 +14,13 @@ import (
 // hops: a monolithic h-hop transfer costs h wire times, while chunks
 // pipeline the hops down toward one wire time plus per-chunk DMA
 // startups — the technique the module snapshot thread uses.
-func A5ChunkedTransfer() (*Result, error) {
+func A5ChunkedTransfer(ctx context.Context) (*Result, error) {
 	r := newResult("A5", "Chunked multi-hop transfers")
 	const total = 32 * 1024
 	payload := make([]byte, total)
 
 	run := func(hops, chunk int) (sim.Duration, error) {
-		k := sim.NewKernel()
+		k := sim.NewKernelCtx(ctx)
 		nodes := make([]*node.Node, 8)
 		for i := range nodes {
 			nodes[i] = node.New(k, i)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries/internal/comm"
@@ -15,10 +17,10 @@ import (
 // (8 data + 2 sync + 1 stop + 2 ack bits) gives just over 0.5 MB/s of
 // payload, the DMA startup is ~5 µs, and the four links together carry
 // over 4 MB/s.
-func E5LinkProtocol() (*Result, error) {
+func E5LinkProtocol(ctx context.Context) (*Result, error) {
 	r := newResult("E5", "Link protocol")
 	timeFor := func(n int) sim.Duration {
-		k := sim.NewKernel()
+		k := sim.NewKernelCtx(ctx)
 		a, b := node.New(k, 0), node.New(k, 1)
 		if err := link.Connect(a.Sublink(0), b.Sublink(0)); err != nil {
 			panic(err)
@@ -57,7 +59,7 @@ func E5LinkProtocol() (*Result, error) {
 
 // E6BalanceRatio reproduces the §II ratio
 // (arithmetic) : (gather) : (link transfer) per 64-bit word.
-func E6BalanceRatio() (*Result, error) {
+func E6BalanceRatio(ctx context.Context) (*Result, error) {
 	r := newResult("E6", "Balance ratio")
 	a, g, l := node.BalanceRatio()
 	t := stats.NewTable("Times per 64-bit word, normalised to arithmetic",
@@ -77,7 +79,7 @@ func E6BalanceRatio() (*Result, error) {
 // butterflies embed with dilation 1, and the maximum message distance is
 // the cube dimension (O(log₂ N)); measured multi-hop latency grows
 // linearly in distance.
-func E8CubeMappings() (*Result, error) {
+func E8CubeMappings(ctx context.Context) (*Result, error) {
 	r := newResult("E8", "Binary n-cube mappings (Figure 3)")
 	t := stats.NewTable("Embeddings (dilation-1 verification)",
 		"mapping", "size", "cube", "all edges nearest-neighbor")
@@ -126,7 +128,7 @@ func E8CubeMappings() (*Result, error) {
 	times := map[int]sim.Duration{}
 	for _, dst := range []int{1, 3, 7, 15} {
 		d := dst
-		k := sim.NewKernel()
+		k := sim.NewKernelCtx(ctx)
 		nodes := make([]*node.Node, 16)
 		for i := range nodes {
 			nodes[i] = node.New(k, i)
@@ -192,11 +194,11 @@ func meshOK(m *cube.Mesh, ext []int) bool {
 // sublinks: four concurrent streams on one physical link each get a
 // quarter of its bandwidth; on four separate links they each get all of
 // it.
-func A2SublinkMux() (*Result, error) {
+func A2SublinkMux(ctx context.Context) (*Result, error) {
 	r := newResult("A2", "Sublink multiplexing")
 	const bytes = 10000
 	// Four sublinks of ONE link.
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	src := node.New(k, 0)
 	dsts := make([]*node.Node, 4)
 	for i := range dsts {
@@ -218,7 +220,7 @@ func A2SublinkMux() (*Result, error) {
 	shared := sim.Duration(k.Run(0))
 
 	// Four separate links.
-	k2 := sim.NewKernel()
+	k2 := sim.NewKernelCtx(ctx)
 	src2 := node.New(k2, 0)
 	dst2 := node.New(k2, 1)
 	for i := 0; i < 4; i++ {
@@ -250,11 +252,11 @@ func A2SublinkMux() (*Result, error) {
 // dimension-order routing under an adversarial permutation (bit
 // reversal): e-cube keeps paths short and the randomised variant adds no
 // benefit in a buffered network while breaking determinism.
-func A4Routing() (*Result, error) {
+func A4Routing(ctx context.Context) (*Result, error) {
 	r := newResult("A4", "Routing order under permutation traffic")
 	const dim = 4
 	runPerm := func() sim.Duration {
-		k := sim.NewKernel()
+		k := sim.NewKernelCtx(ctx)
 		nodes := make([]*node.Node, cube.Nodes(dim))
 		for i := range nodes {
 			nodes[i] = node.New(k, i)

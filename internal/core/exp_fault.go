@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries/internal/fault"
@@ -17,7 +19,7 @@ import (
 // bit errors bit-correct; and (c) crash recovery — time to rewind and
 // total run time as a function of checkpoint interval, the trade the
 // paper resolves with "about 10 minutes is a good compromise".
-func E17FaultRecovery() (*Result, error) {
+func E17FaultRecovery(ctx context.Context) (*Result, error) {
 	r := newResult("E17", "Fault injection and recovery")
 
 	// Part A: raw link goodput vs bit-error rate. One sublink pair
@@ -28,7 +30,7 @@ func E17FaultRecovery() (*Result, error) {
 	cleanGoodput := 0.0
 	for _, ber := range []float64{0, 1e-6, 1e-5, 1e-4} {
 		plan := &fault.Plan{Seed: 17, BER: ber}
-		mbps, l, err := linkGoodput(plan)
+		mbps, l, err := linkGoodput(ctx, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +53,7 @@ func E17FaultRecovery() (*Result, error) {
 		if ber > 0 {
 			plan = &fault.Plan{Seed: 17, BER: ber}
 		}
-		res, err := workloads.FaultTolerantSAXPY(2, 6, 4, 0, 0, plan)
+		res, err := workloads.FaultTolerantSAXPY(ctx, 2, 6, 4, 0, 0, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -67,11 +69,11 @@ func E17FaultRecovery() (*Result, error) {
 	}
 
 	// Determinism: identical seeds must reproduce the identical trace.
-	d1, err := workloads.FaultTolerantSAXPY(2, 4, 2, 0, 0, &fault.Plan{Seed: 99, BER: 1e-5})
+	d1, err := workloads.FaultTolerantSAXPY(ctx, 2, 4, 2, 0, 0, &fault.Plan{Seed: 99, BER: 1e-5})
 	if err != nil {
 		return nil, err
 	}
-	d2, err := workloads.FaultTolerantSAXPY(2, 4, 2, 0, 0, &fault.Plan{Seed: 99, BER: 1e-5})
+	d2, err := workloads.FaultTolerantSAXPY(ctx, 2, 4, 2, 0, 0, &fault.Plan{Seed: 99, BER: 1e-5})
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +93,7 @@ func E17FaultRecovery() (*Result, error) {
 		plan := &fault.Plan{Seed: 5, Events: []fault.Event{
 			{At: 22 * sim.Second, Kind: fault.Crash, Node: 2},
 		}}
-		res, err := workloads.FaultTolerantSAXPY(2, 8, 1, 2*sim.Second, iv, plan)
+		res, err := workloads.FaultTolerantSAXPY(ctx, 2, 8, 1, 2*sim.Second, iv, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -121,8 +123,8 @@ func E17FaultRecovery() (*Result, error) {
 
 // linkGoodput streams 256 KB across one connected sublink pair under a
 // fault plan and reports payload MB/s plus the sender link's counters.
-func linkGoodput(plan *fault.Plan) (float64, *link.Link, error) {
-	k := sim.NewKernel()
+func linkGoodput(ctx context.Context, plan *fault.Plan) (float64, *link.Link, error) {
+	k := sim.NewKernelCtx(ctx)
 	la := link.NewLink(k, "gp/a")
 	lb := link.NewLink(k, "gp/b")
 	if err := link.Connect(la.Sublink(0), lb.Sublink(0)); err != nil {

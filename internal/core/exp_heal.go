@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries/internal/fault"
@@ -20,7 +22,7 @@ import (
 // the board-swap stall), and a wedged processor whose board keeps
 // beating with frozen progress. A final seeded chaos pair checks the
 // whole path replays deterministically.
-func E18SelfHealing() (*Result, error) {
+func E18SelfHealing(ctx context.Context) (*Result, error) {
 	r := newResult("E18", "Self-healing: heartbeat detection and spare remap")
 
 	base := workloads.SoakParams{
@@ -44,7 +46,7 @@ func E18SelfHealing() (*Result, error) {
 	}
 
 	// Scenario 1: fault-free baseline — the healer must stay silent.
-	clean, err := workloads.Soak(base)
+	clean, err := workloads.Soak(ctx, base)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +61,7 @@ func E18SelfHealing() (*Result, error) {
 	// replays, and the fingerprint must match the fault-free twin.
 	p := base
 	p.Plan = silentCrash(3)
-	crash, err := workloads.Soak(p)
+	crash, err := workloads.Soak(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +78,7 @@ func E18SelfHealing() (*Result, error) {
 	p = base
 	p.Spares = 0
 	p.Plan = silentCrash(2)
-	degraded, err := workloads.Soak(p)
+	degraded, err := workloads.Soak(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +95,7 @@ func E18SelfHealing() (*Result, error) {
 	p.Plan = &fault.Plan{Seed: 1, Events: []fault.Event{
 		{At: 18500 * sim.Millisecond, Kind: fault.Hang, Node: 3, Silent: true},
 	}}
-	hang, err := workloads.Soak(p)
+	hang, err := workloads.Soak(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -107,11 +109,11 @@ func E18SelfHealing() (*Result, error) {
 	// final state, detection latencies included.
 	p = base
 	p.Chaos = &fault.Chaos{Seed: 7, Dur: 60 * sim.Second, Crashes: 1, Hangs: 1}
-	d1, err := workloads.Soak(p)
+	d1, err := workloads.Soak(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	d2, err := workloads.Soak(p)
+	d2, err := workloads.Soak(ctx, p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tseries/internal/fparith"
 	"tseries/internal/fpu"
 	"tseries/internal/link"
@@ -13,11 +15,11 @@ import (
 
 // E2Bandwidths reproduces Figure 2: the five bandwidth figures of the
 // node, each measured by timing an actual transfer in the simulator.
-func E2Bandwidths() (*Result, error) {
+func E2Bandwidths(ctx context.Context) (*Result, error) {
 	r := newResult("E2", "Processor bandwidths (Figure 2)")
 
 	// Link: one 64 KB DMA transfer between two nodes.
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	a, b := node.New(k, 0), node.New(k, 1)
 	if err := link.Connect(a.Sublink(0), b.Sublink(0)); err != nil {
 		return nil, err
@@ -36,7 +38,7 @@ func E2Bandwidths() (*Result, error) {
 	linkMB := stats.MBps(int64(len(payload)), linkTime)
 
 	// Control processor ↔ memory through the random-access port.
-	k2 := sim.NewKernel()
+	k2 := sim.NewKernelCtx(ctx)
 	nd := node.New(k2, 0)
 	const words = 2000
 	var cpTime sim.Duration
@@ -53,7 +55,7 @@ func E2Bandwidths() (*Result, error) {
 	cpMB := stats.MBps(words*4, cpTime)
 
 	// Memory ↔ vector register: row transfers.
-	k3 := sim.NewKernel()
+	k3 := sim.NewKernelCtx(ctx)
 	nd3 := node.New(k3, 0)
 	var reg memory.VectorReg
 	const rows = 200
@@ -73,7 +75,7 @@ func E2Bandwidths() (*Result, error) {
 	// Vector registers → arithmetic unit: two inputs and one output per
 	// cycle in 64-bit mode; measured from the marginal per-element time
 	// of a dyadic form.
-	k4 := sim.NewKernel()
+	k4 := sim.NewKernelCtx(ctx)
 	nd4 := node.New(k4, 0)
 	for i := 0; i < memory.F64PerRow; i++ {
 		nd4.Mem.PokeF64(i, fparith.FromInt64(1))
@@ -118,9 +120,9 @@ func E2Bandwidths() (*Result, error) {
 // E3DualPortMemory times the two ports directly: a 32-bit word every
 // 400 ns on the random-access port, an entire 1024-byte row in the same
 // 400 ns on the vector port.
-func E3DualPortMemory() (*Result, error) {
+func E3DualPortMemory(ctx context.Context) (*Result, error) {
 	r := newResult("E3", "Dual-port memory")
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	nd := node.New(k, 0)
 	var wordT, rowT sim.Duration
 	k.Go("m", func(p *sim.Proc) {
@@ -151,9 +153,9 @@ func E3DualPortMemory() (*Result, error) {
 // E4GatherScatter times the control processor gathering scattered
 // operands into a contiguous vector: 1.6 µs per 64-bit element (two
 // reads + two writes), 0.8 µs per 32-bit element.
-func E4GatherScatter() (*Result, error) {
+func E4GatherScatter(ctx context.Context) (*Result, error) {
 	r := newResult("E4", "Gather/scatter")
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	nd := node.New(k, 0)
 	idx := make([]int, 128)
 	for i := range idx {
@@ -187,7 +189,7 @@ func E4GatherScatter() (*Result, error) {
 // LU with partial pivoting, exchanging rows through the vector-register
 // row port beats element-wise moves through the word port by two orders
 // of magnitude.
-func E12RowPivot() (*Result, error) {
+func E12RowPivot(ctx context.Context) (*Result, error) {
 	r := newResult("E12", "Row-move pivoting")
 	n := 64
 	a := make([][]float64, n)
@@ -201,11 +203,11 @@ func E12RowPivot() (*Result, error) {
 	for i := range a {
 		a[n-1-i][i] += float64(i + 2)
 	}
-	fast, err := workloads.LU(n, a, true)
+	fast, err := workloads.LU(ctx, n, a, true)
 	if err != nil {
 		return nil, err
 	}
-	slow, err := workloads.LU(n, a, false)
+	slow, err := workloads.LU(ctx, n, a, false)
 	if err != nil {
 		return nil, err
 	}
@@ -225,11 +227,11 @@ func E12RowPivot() (*Result, error) {
 	for i := range keys {
 		keys[i] = float64((i*37)%64) - 31.5
 	}
-	sfast, err := workloads.SortRecords(64, keys, true)
+	sfast, err := workloads.SortRecords(ctx, 64, keys, true)
 	if err != nil {
 		return nil, err
 	}
-	sslow, err := workloads.SortRecords(64, keys, false)
+	sslow, err := workloads.SortRecords(ctx, 64, keys, false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -19,7 +21,7 @@ import (
 // hypercube machine (per-node memory) and on a shared-bus multiprocessor
 // whose bus carries four nodes' worth of operand traffic. The hypercube
 // scales linearly; the bus saturates at four processors.
-func E14SharedBus() (*Result, error) {
+func E14SharedBus(ctx context.Context) (*Result, error) {
 	r := newResult("E14", "Distributed memory vs shared bus")
 	t := stats.NewTable("SAXPY sweep, 50 rows/processor",
 		"processors", "hypercube MFLOPS", "shared-bus MFLOPS", "cube/bus")
@@ -27,7 +29,7 @@ func E14SharedBus() (*Result, error) {
 	var crossover int
 	for _, dim := range []int{0, 1, 2, 3, 4, 5, 6} {
 		procs := 1 << uint(dim)
-		cubeRes, err := workloads.DistributedSAXPY(dim, 50, 1)
+		cubeRes, err := workloads.DistributedSAXPY(ctx, dim, 50, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -49,7 +51,7 @@ func E14SharedBus() (*Result, error) {
 // E15FFT runs the 1024-point FFT across machine sizes: all exchanges are
 // nearest-neighbor on the cube (Figure 3's butterfly), and accuracy is
 // checked against a host DFT.
-func E15FFT() (*Result, error) {
+func E15FFT(ctx context.Context) (*Result, error) {
 	r := newResult("E15", "FFT on the butterfly mapping")
 	const n = 1024
 	in := make([]complex128, n)
@@ -60,7 +62,7 @@ func E15FFT() (*Result, error) {
 	t := stats.NewTable("1024-point FFT",
 		"nodes", "time (ms)", "max |error|", "correct")
 	for _, dim := range []int{0, 1, 2, 3, 4} {
-		res, err := workloads.DistributedFFT(dim, in)
+		res, err := workloads.DistributedFFT(ctx, dim, in)
 		if err != nil {
 			return nil, err
 		}
@@ -84,14 +86,14 @@ func E15FFT() (*Result, error) {
 // behind vector work once a vector enters about 13 operations — §II's
 // "a vector should enter into about 13 operations while gathering the
 // next vector".
-func E16OverlapCrossover() (*Result, error) {
+func E16OverlapCrossover(ctx context.Context) (*Result, error) {
 	r := newResult("E16", "Gather overlap crossover")
 	gather := cp.GatherTime64(memory.F64PerRow)
 	t := stats.NewTable("Gather of 128 elements overlapped with r vector forms",
 		"forms per gather", "vector time", "overlapped total", "gather hidden %")
 	crossover := 0
 	for _, forms := range []int{1, 2, 4, 8, 11, 13, 16, 24, 32} {
-		vec, total := overlapRun(forms)
+		vec, total := overlapRun(ctx, forms)
 		hidden := 100 * (1 - float64(total-vec)/float64(gather))
 		if hidden > 99 && crossover == 0 {
 			crossover = forms
@@ -106,9 +108,9 @@ func E16OverlapCrossover() (*Result, error) {
 
 // overlapRun measures r vector forms with a concurrent 128-element
 // gather; returns the pure vector time and the overlapped total.
-func overlapRun(forms int) (vec, total sim.Duration) {
+func overlapRun(ctx context.Context, forms int) (vec, total sim.Duration) {
 	prep := func() (*sim.Kernel, *node.Node, []int) {
-		k := sim.NewKernel()
+		k := sim.NewKernelCtx(ctx)
 		nd := node.New(k, 0)
 		for i := 0; i < memory.F64PerRow; i++ {
 			nd.Mem.PokeF64(i, fparith.FromInt64(1))

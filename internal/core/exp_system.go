@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -16,16 +18,16 @@ import (
 // throughput near the 128 MFLOPS peak, and the intramodule communication
 // bandwidth ("over 12 MB/s") with all nodes driving their three
 // intramodule cube links simultaneously.
-func E9ModuleAggregate() (*Result, error) {
+func E9ModuleAggregate(ctx context.Context) (*Result, error) {
 	r := newResult("E9", "Module aggregate performance")
-	sax, err := workloads.DistributedSAXPY(3, 200, 1)
+	sax, err := workloads.DistributedSAXPY(ctx, 3, 200, 1)
 	if err != nil {
 		return nil, err
 	}
 
 	// Intramodule bandwidth: every node streams 32 KB to each of its
 	// three in-module neighbors concurrently.
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, 3)
 	if err != nil {
 		return nil, err
@@ -69,7 +71,7 @@ func E9ModuleAggregate() (*Result, error) {
 // properties — the homogeneity argument: "The specifications of any
 // sized FPS T Series can be derived from the properties of the
 // individual modules."
-func E10ConfigTable() (*Result, error) {
+func E10ConfigTable(ctx context.Context) (*Result, error) {
 	r := newResult("E10", "Configuration table")
 	t := stats.NewTable("T Series configurations (derived from the 8-node module)",
 		"cube", "nodes", "modules", "cabinets", "peak GFLOPS", "RAM", "disks", "free sublinks")
@@ -99,13 +101,13 @@ func E10ConfigTable() (*Result, error) {
 // E11Checkpoint measures snapshot time at one and two modules (constant
 // ≈15 s because every module uses its own thread and disk), verifies a
 // crash-and-restore cycle, and shows ring backup to a neighbor module.
-func E11Checkpoint() (*Result, error) {
+func E11Checkpoint(ctx context.Context) (*Result, error) {
 	r := newResult("E11", "Checkpoint / restart")
 	t := stats.NewTable("Snapshot time vs configuration",
 		"configuration", "memory", "snapshot time (s)")
 	var snapSecs []float64
 	for _, dim := range []int{3, 4} {
-		k := sim.NewKernel()
+		k := sim.NewKernelCtx(ctx)
 		m, err := machine.New(k, dim)
 		if err != nil {
 			return nil, err
@@ -128,7 +130,7 @@ func E11Checkpoint() (*Result, error) {
 	r.Metrics["snap_2mod_s"] = snapSecs[1]
 
 	// Crash/recovery round trip.
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, 3)
 	if err != nil {
 		return nil, err
@@ -171,7 +173,7 @@ func boolMetric(b bool) float64 {
 // overhead fraction is snapshot/interval and the expected recomputation
 // after a failure is interval/2, crossing near the paper's "about 10
 // minutes provides a good compromise".
-func A3SnapshotInterval() (*Result, error) {
+func A3SnapshotInterval(ctx context.Context) (*Result, error) {
 	r := newResult("A3", "Snapshot interval trade-off")
 	const (
 		snapshot = 14.6       // seconds, measured in E11

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -51,11 +52,13 @@ func (r *Result) String() string {
 
 // Experiment regenerates one table or figure of the paper. Run builds
 // its own System and kernel, so experiments are independent and may run
-// concurrently.
+// concurrently. The kernels an experiment builds are bound to ctx, so a
+// canceled context aborts an in-flight experiment at the next event
+// boundary and Run returns the context's error.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (*Result, error)
+	Run   func(ctx context.Context) (*Result, error)
 }
 
 // registry holds every registered experiment. Each exp_*.go file
@@ -64,7 +67,7 @@ type Experiment struct {
 var registry = map[string]Experiment{}
 
 // register adds an experiment; duplicate IDs are a programming error.
-func register(id, title string, run func() (*Result, error)) {
+func register(id, title string, run func(ctx context.Context) (*Result, error)) {
 	if _, dup := registry[id]; dup {
 		panic("core: duplicate experiment " + id)
 	}

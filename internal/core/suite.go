@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -13,11 +14,18 @@ import (
 // output is that results are reassembled in submission order, which the
 // indexed pool below guarantees. A parallel run therefore produces
 // byte-identical output to a serial one.
+//
+// Cancellation: both runners take a context. Once it is canceled, no new
+// experiment or sweep point is launched, and in-flight runs abort at
+// their kernels' next event boundary — so a canceled sweep neither
+// strands worker goroutines nor leaks simulated-process goroutines.
 
-// fanIndexed executes work(0..n-1) on up to `workers` goroutines.
-// workers < 1 means one per CPU; workers == 1 degenerates to a plain
-// serial loop on the calling goroutine.
-func fanIndexed(n, workers int, work func(i int)) {
+// fanIndexed executes work(0..n-1) on up to `workers` goroutines,
+// stopping the feed as soon as ctx is canceled. workers < 1 means one
+// per CPU; workers == 1 degenerates to a plain serial loop on the
+// calling goroutine. It returns after every launched work call has
+// finished.
+func fanIndexed(ctx context.Context, n, workers int, work func(i int)) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
@@ -26,6 +34,9 @@ func fanIndexed(n, workers int, work func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			work(i)
 		}
 		return
@@ -41,8 +52,13 @@ func fanIndexed(n, workers int, work func(i int)) {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -53,13 +69,24 @@ func fanIndexed(n, workers int, work func(i int)) {
 // suite order. If any experiment fails, the returned error is the
 // earliest failure in suite order — not arrival order — so error
 // reporting is deterministic too; results of the experiments that
-// succeeded are still returned (failed slots are nil).
-func RunSuite(exps []Experiment, workers int) ([]*Result, error) {
+// succeeded are still returned (failed slots are nil). A canceled ctx
+// stops launching experiments, aborts in-flight ones, and marks every
+// unfinished slot with the context's error.
+func RunSuite(ctx context.Context, exps []Experiment, workers int) ([]*Result, error) {
 	results := make([]*Result, len(exps))
 	errs := make([]error, len(exps))
-	fanIndexed(len(exps), workers, func(i int) {
-		results[i], errs[i] = exps[i].Run()
+	launched := make([]bool, len(exps))
+	fanIndexed(ctx, len(exps), workers, func(i int) {
+		launched[i] = true
+		results[i], errs[i] = exps[i].Run(ctx)
 	})
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !launched[i] || (results[i] == nil && errs[i] == nil) {
+				errs[i] = err
+			}
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err
@@ -80,18 +107,35 @@ type SweepPoint struct {
 // dims order with per-point errors recorded rather than aborting the
 // sweep (a dimension can legitimately fail, e.g. a problem size that
 // does not divide across 2^dim nodes). The workload name is resolved
-// before any work starts; an unknown name fails the whole sweep.
-func RunSweep(name string, base workloads.Config, dims []int, workers int) ([]SweepPoint, error) {
+// before any work starts; an unknown name fails the whole sweep. A
+// canceled ctx stops launching points, aborts in-flight kernels at
+// their next event boundary, records the context's error on every
+// unfinished point, and is returned as the sweep error.
+func RunSweep(ctx context.Context, name string, base workloads.Config, dims []int, workers int) ([]SweepPoint, error) {
 	r, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
 	}
 	points := make([]SweepPoint, len(dims))
-	fanIndexed(len(dims), workers, func(i int) {
+	for i, d := range dims {
+		points[i] = SweepPoint{Dim: d}
+	}
+	done := make([]bool, len(dims))
+	fanIndexed(ctx, len(dims), workers, func(i int) {
 		cfg := base
 		cfg.Dim = dims[i]
+		cfg.Ctx = ctx
 		rep, err := r.Run(cfg)
 		points[i] = SweepPoint{Dim: dims[i], Report: rep, Err: err}
+		done[i] = true
 	})
+	if err := ctx.Err(); err != nil {
+		for i := range points {
+			if !done[i] {
+				points[i].Err = err
+			}
+		}
+		return points, err
+	}
 	return points, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"reflect"
 	"runtime"
 	"strings"
@@ -52,11 +54,11 @@ func TestSuiteParallelMatchesSerial(t *testing.T) {
 		t.Skip("full-suite comparison in long mode only")
 	}
 	exps := All()
-	serial, err := RunSuite(exps, 1)
+	serial, err := RunSuite(context.Background(), exps, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunSuite(exps, 4)
+	parallel, err := RunSuite(context.Background(), exps, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +72,11 @@ func TestRunSweepOrderedAndDeterministic(t *testing.T) {
 	base := workloads.DefaultConfig()
 	base.Rows = 10
 	dims := []int{0, 1, 2, 3}
-	serial, err := RunSweep("saxpy", base, dims, 1)
+	serial, err := RunSweep(context.Background(), "saxpy", base, dims, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunSweep("saxpy", base, dims, 4)
+	parallel, err := RunSweep(context.Background(), "saxpy", base, dims, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestRunSweepOrderedAndDeterministic(t *testing.T) {
 }
 
 func TestRunSweepUnknownWorkload(t *testing.T) {
-	if _, err := RunSweep("bogus", workloads.DefaultConfig(), []int{1}, 1); err == nil {
+	if _, err := RunSweep(context.Background(), "bogus", workloads.DefaultConfig(), []int{1}, 1); err == nil {
 		t.Fatal("unknown workload should fail the sweep")
 	}
 }
@@ -110,7 +112,7 @@ func TestRunSweepUnknownWorkload(t *testing.T) {
 func TestRunSweepPerPointErrors(t *testing.T) {
 	base := workloads.DefaultConfig()
 	base.N = 16
-	points, err := RunSweep("matmul", base, []int{2, 5}, 2)
+	points, err := RunSweep(context.Background(), "matmul", base, []int{2, 5}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +124,82 @@ func TestRunSweepPerPointErrors(t *testing.T) {
 	}
 }
 
+// TestRunSweepCancelMidSweepNoGoroutineLeak is the acceptance check for
+// cooperative cancellation: cancel a parallel sweep while points are in
+// flight, and both the pool workers and every simulated-process
+// goroutine inside the in-flight kernels must unwind.
+func TestRunSweepCancelMidSweepNoGoroutineLeak(t *testing.T) {
+	base := workloads.DefaultConfig()
+	base.Rows = 400
+	base.Reps = 8
+	dims := []int{4, 4, 4, 4, 4, 4, 4, 4}
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	type out struct {
+		points []SweepPoint
+		err    error
+	}
+	done := make(chan out, 1)
+	go func() {
+		points, err := RunSweep(ctx, "saxpy", base, dims, 4)
+		done <- out{points, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	var got out
+	select {
+	case got = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunSweep did not return after cancel")
+	}
+	if got.err == nil || !strings.Contains(got.err.Error(), context.Canceled.Error()) {
+		t.Fatalf("sweep error = %v, want context.Canceled", got.err)
+	}
+	if len(got.points) != len(dims) {
+		t.Fatalf("got %d points, want %d", len(got.points), len(dims))
+	}
+	canceled := 0
+	for _, pt := range got.points {
+		if pt.Err != nil {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("cancel mid-sweep marked no point with an error")
+	}
+
+	// Every worker and simulated-process goroutine must drain. Poll:
+	// kernel teardown finishes after RunSweep returns its error only by a
+	// few scheduler beats, never seconds.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after canceled sweep: %d > baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRunSuiteCanceledBeforeStart: a pre-canceled context launches
+// nothing and marks every slot with the context's error.
+func TestRunSuiteCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exps := All()[:3]
+	results, err := RunSuite(ctx, exps, 2)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("slot %d has a result despite pre-canceled context", i)
+		}
+	}
+}
+
 // BenchmarkSuiteSerial and BenchmarkSuiteParallel time the full
 // experiment suite; the parallel benchmark also reports its measured
 // speedup over a serial reference pass (the ≥2× acceptance target on
@@ -129,7 +207,7 @@ func TestRunSweepPerPointErrors(t *testing.T) {
 func BenchmarkSuiteSerial(b *testing.B) {
 	exps := All()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunSuite(exps, 1); err != nil {
+		if _, err := RunSuite(context.Background(), exps, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,13 +219,13 @@ func BenchmarkSuiteParallel(b *testing.B) {
 	// be nested inside a running benchmark (it deadlocks on the global
 	// benchmark lock).
 	start := time.Now()
-	if _, err := RunSuite(exps, 1); err != nil {
+	if _, err := RunSuite(context.Background(), exps, 1); err != nil {
 		b.Fatal(err)
 	}
 	serialPerOp := float64(time.Since(start).Nanoseconds())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunSuite(exps, 4); err != nil {
+		if _, err := RunSuite(context.Background(), exps, 4); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// JobStatus is the wire shape of GET /jobs/{id} and the envelope
+// returned by POST /jobs.
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Tenant    string `json:"tenant"`
+	Kind      string `json:"kind"`
+	Name      string `json:"name"`
+	Key       string `json:"key"`
+	Cached    bool   `json:"cached"`
+	Attempts  int    `json:"attempts"`
+	Error     string `json:"error,omitempty"`
+	Submitted string `json:"submitted,omitempty"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// status snapshots a job under the server lock.
+func (s *Server) status(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Tenant:   j.tenant,
+		Kind:     j.task.kind,
+		Name:     j.task.name,
+		Key:      keyDigest(j.task.key),
+		Cached:   j.cached,
+		Attempts: j.attempts,
+		Error:    j.errMsg,
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	st.Submitted, st.Started, st.Finished = stamp(j.submitted), stamp(j.started), stamp(j.finished)
+	if j.state == StateDone {
+		st.ResultURL = "/jobs/" + j.id + "/result"
+	}
+	return st
+}
+
+// Handler returns the service's HTTP mux.
+//
+//	POST /jobs             submit a JobSpec; 202 (queued), 200 (cache/dedup), 4xx typed errors
+//	GET  /jobs/{id}        job lifecycle status
+//	GET  /jobs/{id}/result raw result body of a done job (byte-identical to tsim -json)
+//	GET  /healthz          liveness: always 200 while the process serves
+//	GET  /readyz           readiness: 503 once draining
+//	GET  /stats            admission, execution, and cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// writeJSON emits v with the service's canonical encoder settings.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeAPIError emits a typed rejection. 429s and the drain 503 carry
+// a Retry-After hint.
+func writeAPIError(w http.ResponseWriter, e *APIError) {
+	if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, e.Status, map[string]*APIError{"error": e})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		writeAPIError(w, &APIError{Status: http.StatusRequestEntityTooLarge, Code: "too_large",
+			Msg: "body exceeds " + strconv.Itoa(MaxBodyBytes) + " bytes"})
+		return
+	}
+	spec, apiErr := ParseJobSpec(body)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	j, fresh, apiErr := s.Submit(spec)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	// Fresh queued work is a 202; a job completed at admission (cache
+	// hit) or absorbed into a live one (dedup) is a 200.
+	code := http.StatusOK
+	if fresh {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, s.status(j))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, &APIError{Status: http.StatusNotFound, Code: "unknown_job",
+			Msg: "no job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, &APIError{Status: http.StatusNotFound, Code: "unknown_job",
+			Msg: "no job " + r.PathValue("id")})
+		return
+	}
+	s.mu.Lock()
+	state, body := j.state, j.body
+	s.mu.Unlock()
+	if state != StateDone {
+		writeAPIError(w, &APIError{Status: http.StatusConflict, Code: "not_done",
+			Msg: "job " + j.id + " is " + state})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// Stats is the wire shape of GET /stats.
+type Stats struct {
+	Admitted          int64 `json:"admitted"`
+	Deduped           int64 `json:"deduped"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheEntries      int   `json:"cache_entries"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedRate      int64 `json:"rejected_rate"`
+	RejectedQuota     int64 `json:"rejected_quota"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+	Timeouts          int64 `json:"timeouts"`
+	Canceled          int64 `json:"canceled"`
+	Panics            int64 `json:"panics"`
+	Retries           int64 `json:"retries"`
+	QueueDepth        int   `json:"queue_depth"`
+	Draining          bool  `json:"draining"`
+}
+
+// Snapshot returns the current counters.
+func (s *Server) Snapshot() Stats {
+	return Stats{
+		Admitted:          s.ctr.admitted.Load(),
+		Deduped:           s.ctr.deduped.Load(),
+		CacheHits:         s.ctr.cacheHits.Load(),
+		CacheMisses:       s.ctr.cacheMisses.Load(),
+		CacheEntries:      s.cache.len(),
+		RejectedQueueFull: s.ctr.rejectedQueueFull.Load(),
+		RejectedRate:      s.ctr.rejectedRate.Load(),
+		RejectedQuota:     s.ctr.rejectedQuota.Load(),
+		RejectedDraining:  s.ctr.rejectedDraining.Load(),
+		Completed:         s.ctr.completed.Load(),
+		Failed:            s.ctr.failed.Load(),
+		Timeouts:          s.ctr.timeouts.Load(),
+		Canceled:          s.ctr.canceled.Load(),
+		Panics:            s.ctr.panics.Load(),
+		Retries:           s.ctr.retries.Load(),
+		QueueDepth:        len(s.queue),
+		Draining:          s.Draining(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a standard leaky-token rate limiter: tokens refill at
+// `rate` per second up to `burst`, and each admission spends one. It is
+// not safe for concurrent use; the limiter below serialises access.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// take spends a token if one is available at time now; otherwise it
+// returns how long until the next token accrues, rounded up to a whole
+// second for the Retry-After header (minimum 1s — a 0s hint reads as
+// "retry immediately", which defeats the limiter).
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	secs := math.Ceil(need)
+	if secs < 1 {
+		secs = 1
+	}
+	return false, time.Duration(secs) * time.Second
+}
+
+// limiter enforces the two per-tenant admission quotas: a token-bucket
+// submission rate and a ceiling on jobs simultaneously queued or
+// running. Tenants are created on first use and never expire — the
+// tenant universe of a simulation service is small and operator-known.
+type limiter struct {
+	mu       sync.Mutex
+	rate     float64
+	burst    float64
+	maxInFly int
+	buckets  map[string]*tokenBucket
+	inFlight map[string]int
+}
+
+func newLimiter(rate, burst float64, maxInFly int) *limiter {
+	return &limiter{
+		rate:     rate,
+		burst:    burst,
+		maxInFly: maxInFly,
+		buckets:  map[string]*tokenBucket{},
+		inFlight: map[string]int{},
+	}
+}
+
+// admit charges tenant one submission at time now. It spends a rate
+// token first, then claims an in-flight slot; callers must release the
+// slot with done() when the job leaves the system. A rejection names
+// which quota fired so the HTTP layer can report it.
+func (l *limiter) admit(tenant string, now time.Time) (ok bool, code string, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{rate: l.rate, burst: l.burst}
+		l.buckets[tenant] = b
+	}
+	if ok, retry := b.take(now); !ok {
+		return false, "rate_limited", retry
+	}
+	if l.inFlight[tenant] >= l.maxInFly {
+		return false, "too_many_in_flight", time.Second
+	}
+	l.inFlight[tenant]++
+	return true, "", 0
+}
+
+// done releases tenant's in-flight slot.
+func (l *limiter) done(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inFlight[tenant] > 0 {
+		l.inFlight[tenant]--
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Kernel is a deterministic discrete-event scheduler. Exactly one process
 // goroutine runs at any instant; the kernel regains control whenever a
@@ -39,6 +42,18 @@ type Kernel struct {
 	stopped      bool        //
 	pendingPanic interface{} // process-body panic awaiting re-delivery on the kernel goroutine
 
+	// Cooperative cancellation (BindContext). The dispatch loop polls
+	// cancelCh at the event boundary; once it fires, the kernel tears the
+	// simulation down: every live process is killed and unwound, pending
+	// kernel callbacks are dropped, and Run returns with Err() non-nil.
+	// The same teardown runs when a simulation panics, so a failed run
+	// never strands process goroutines.
+	ctx         context.Context
+	cancelCh    <-chan struct{}
+	tearing     bool    // unwinding: drop callbacks, kill processes
+	ctxCanceled bool    // teardown was caused by the bound context
+	all         []*Proc // every spawned process, for teardown sweeps
+
 	yielded chan struct{} // the hand-off chain signals here when the kernel goroutine must take over
 	procs   int           // live (not yet finished) non-daemon processes
 	running *Proc         // process currently executing, nil in kernel context
@@ -72,6 +87,87 @@ func NewKernel() *Kernel {
 		yielded:  make(chan struct{}),
 		limit:    -1,
 		counters: make(map[string]int64, 16),
+	}
+}
+
+// NewKernelCtx returns an empty simulation bound to ctx: if ctx is
+// canceled while Run is executing, the run is torn down cooperatively
+// (see BindContext) and Err reports why.
+func NewKernelCtx(ctx context.Context) *Kernel {
+	k := NewKernel()
+	k.BindContext(ctx)
+	return k
+}
+
+// BindContext attaches a cancellation context to the kernel. The
+// dispatch loop checks ctx.Done() at the event boundary (every
+// cancelCheckMask+1 events, so the hot path pays one nil check); when it
+// fires, every live process is killed and unwound, queued kernel
+// callbacks are dropped, and Run returns promptly with the clock at the
+// cancellation point. A nil ctx (or one that can never be canceled)
+// costs nothing. Binding after Run has started is not supported.
+func (k *Kernel) BindContext(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	k.ctx = ctx
+	k.cancelCh = ctx.Done()
+}
+
+// cancelCheckMask throttles the cancellation poll: the Done channel is
+// selected once per mask+1 dispatched events, keeping the per-event cost
+// of an armed context to a single nil check.
+const cancelCheckMask = 255
+
+// Canceled reports whether the run was torn down by the bound context.
+func (k *Kernel) Canceled() bool { return k.ctxCanceled }
+
+// Err returns nil for a normal run, or the bound context's error when
+// the run was canceled mid-flight. Callers should check it immediately
+// after Run: a canceled kernel has killed its processes, so any
+// workload-level results are partial.
+func (k *Kernel) Err() error {
+	if !k.ctxCanceled {
+		return nil
+	}
+	if k.ctx != nil {
+		if err := k.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return context.Canceled
+}
+
+// beginTeardown flips the kernel into unwind mode: every live process is
+// marked dead (blocked ones are woken so their parks panic killed), and
+// from here on kernel callbacks are dropped at both the scheduling and
+// dispatching edges so self-rescheduling timer chains die out and the
+// queues drain.
+func (k *Kernel) beginTeardown() {
+	k.tearing = true
+	for _, p := range k.all {
+		if p == nil || p.done || p.dead {
+			continue
+		}
+		p.dead = true
+		if p.waiting != "" {
+			p.unpark()
+		}
+	}
+}
+
+// teardown force-unwinds a simulation that ended abnormally (context
+// cancellation already mid-teardown, a process panic, or a deadlock
+// panic): it kills all processes and dispatches until their goroutines
+// have exited. Best-effort — a second panic during the unwind abandons
+// the remaining cleanup rather than masking the original failure.
+func (k *Kernel) teardown() {
+	defer func() { recover() }()
+	k.stopped = false
+	k.beginTeardown()
+	for i := 0; i < 4 && (k.laneLen > 0 || k.q.size > 0); i++ {
+		k.pendingPanic = nil
+		k.dispatch(nil)
 	}
 }
 
@@ -144,6 +240,9 @@ func (k *Kernel) freeEvent(e *event) {
 // block; it may schedule further events and unblock processes. Scheduling
 // in the past is an error.
 func (k *Kernel) At(t Time, fn func()) {
+	if k.tearing {
+		return // unwinding: new kernel callbacks are dropped
+	}
 	if t == k.now {
 		k.pushLane(fn, nil)
 		return
@@ -203,6 +302,16 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Run panics if the queue drains while processes are still blocked: that
 // is a deadlock in the simulated system.
 func (k *Kernel) Run(horizon Duration) Time {
+	// Abnormal exits (process panics, deadlock panics) tear the
+	// simulation down before propagating, so a failed run never strands
+	// blocked process goroutines — essential for long-lived hosts that
+	// isolate a panicking job and keep serving.
+	defer func() {
+		if r := recover(); r != nil {
+			k.teardown()
+			panic(r)
+		}
+	}()
 	k.limit = -1
 	if horizon > 0 {
 		k.limit = k.now.Add(horizon)
@@ -212,6 +321,9 @@ func (k *Kernel) Run(horizon Duration) Time {
 	if r := k.pendingPanic; r != nil {
 		k.pendingPanic = nil
 		panic(r)
+	}
+	if k.ctxCanceled {
+		return k.now
 	}
 	if k.stopped {
 		return k.now
@@ -248,6 +360,14 @@ func (k *Kernel) Run(horizon Duration) Time {
 // (time, sequence) order of a single priority queue.
 func (k *Kernel) dispatch(self *Proc) bool {
 	for {
+		if k.cancelCh != nil && !k.tearing && k.events&cancelCheckMask == 0 {
+			select {
+			case <-k.cancelCh:
+				k.ctxCanceled = true
+				k.beginTeardown()
+			default:
+			}
+		}
 		if k.stopped || k.pendingPanic != nil {
 			return k.endDispatch(self)
 		}
@@ -261,6 +381,9 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			} else {
 				s := k.popLane()
 				fn, next = s.fn, s.proc
+			}
+			if k.tearing && fn != nil {
+				continue // unwinding: queued kernel callbacks are dropped
 			}
 		} else {
 			e := k.q.peek()
@@ -277,7 +400,15 @@ func (k *Kernel) dispatch(self *Proc) bool {
 				k.freeEvent(e)
 				continue
 			}
-			if k.limit >= 0 && e.at > k.limit {
+			if k.tearing && e.proc == nil {
+				// Unwinding: a pending kernel callback. Dropped without
+				// advancing the clock — only process wakeups still matter,
+				// and only so their parks can deliver the kill.
+				k.q.popCurrent()
+				k.freeEvent(e)
+				continue
+			}
+			if k.limit >= 0 && e.at > k.limit && !k.tearing {
 				return k.endDispatch(self)
 			}
 			k.now = e.at
@@ -376,10 +507,29 @@ func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
 func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{}), daemon: daemon}
 	p.w.p = p
+	if k.tearing {
+		p.dead = true // born into an unwinding simulation: killed at first resume
+	}
 	if !daemon {
 		k.procs++
 	}
 	k.spawned++
+	// Track every process for teardown sweeps; compact finished entries
+	// when the slice is about to grow so long-running simulations do not
+	// accumulate dead pointers.
+	if len(k.all) == cap(k.all) && len(k.all) >= 64 {
+		live := k.all[:0]
+		for _, q := range k.all {
+			if !q.done {
+				live = append(live, q)
+			}
+		}
+		for i := len(live); i < len(k.all); i++ {
+			k.all[i] = nil
+		}
+		k.all = live
+	}
+	k.all = append(k.all, p)
 	go func() {
 		<-p.resume // wait for the kernel to hand us the start slot
 		defer func() {
@@ -408,6 +558,9 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 			// straight to the next runnable process.
 			k.dispatch(p)
 		}()
+		if p.dead {
+			panic(killed{p.name}) // killed before it ever ran
+		}
 		k.trace("proc %s start at %v", p.name, k.now)
 		fn(p)
 	}()

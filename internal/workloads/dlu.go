@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 
@@ -28,7 +30,7 @@ func init() {
 	RegisterFunc("dlu", []string{"dim", "n", "seed"}, func(cfg Config) (Report, error) {
 		r := rand.New(rand.NewSource(cfg.Seed))
 		a := randMatDD(r, cfg.N)
-		res, err := DistributedLU(cfg.Dim, cfg.N, a)
+		res, err := DistributedLU(cfg.Context(), cfg.Dim, cfg.N, a)
 		if err != nil {
 			return Report{}, err
 		}
@@ -60,11 +62,11 @@ func init() {
 //     its rows below k with one SAXPY per row on its vector unit.
 //
 // The factors satisfy P·A = L·U with unit lower-triangular L.
-func DistributedLU(dim, n int, a [][]float64) (DLUResult, error) {
+func DistributedLU(ctx context.Context, dim, n int, a [][]float64) (DLUResult, error) {
 	if n <= 0 || n > memory.F64PerRow {
 		return DLUResult{}, fmt.Errorf("workloads: DLU size 1..%d", memory.F64PerRow)
 	}
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, dim)
 	if err != nil {
 		return DLUResult{}, err
@@ -201,6 +203,9 @@ func DistributedLU(dim, n int, a [][]float64) (DLUResult, error) {
 		})
 	}
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return DLUResult{}, err // canceled: results are partial
+	}
 	if firstErr != nil {
 		return DLUResult{}, firstErr
 	}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -43,7 +45,7 @@ func TestDistributedLUCorrect(t *testing.T) {
 		{0, 16}, {1, 16}, {2, 24}, {3, 32},
 	} {
 		a := randMatrix(r, tc.n)
-		res, err := DistributedLU(tc.dim, tc.n, a)
+		res, err := DistributedLU(context.Background(), tc.dim, tc.n, a)
 		if err != nil {
 			t.Fatalf("dim %d: %v", tc.dim, err)
 		}
@@ -58,11 +60,11 @@ func TestDistributedLUMatchesSingleNode(t *testing.T) {
 	r := rand.New(rand.NewSource(17))
 	n := 24
 	a := randMatrix(r, n)
-	single, err := LU(n, a, true)
+	single, err := LU(context.Background(), n, a, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := DistributedLU(2, n, a)
+	multi, err := DistributedLU(context.Background(), 2, n, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestDistributedLUSingular(t *testing.T) {
 	for i := range a {
 		a[i] = make([]float64, n)
 	}
-	if _, err := DistributedLU(1, n, a); err == nil {
+	if _, err := DistributedLU(context.Background(), 1, n, a); err == nil {
 		t.Fatal("singular matrix factored")
 	}
 }
@@ -104,7 +106,7 @@ func TestDistributedLUPivotsAcrossNodes(t *testing.T) {
 	for i := range a {
 		a[n-1-i][i] = float64(10 + i)
 	}
-	res, err := DistributedLU(2, n, a)
+	res, err := DistributedLU(context.Background(), 2, n, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +123,11 @@ func TestSortRecordsRowMoves(t *testing.T) {
 	for i := range keys {
 		keys[i] = r.NormFloat64() * 100
 	}
-	fast, err := SortRecords(n, keys, true)
+	fast, err := SortRecords(context.Background(), n, keys, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := SortRecords(n, keys, false)
+	slow, err := SortRecords(context.Background(), n, keys, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,13 +167,13 @@ func TestSortRecordsRowMoves(t *testing.T) {
 }
 
 func TestSortValidation(t *testing.T) {
-	if _, err := SortRecords(0, nil, true); err == nil {
+	if _, err := SortRecords(context.Background(), 0, nil, true); err == nil {
 		t.Fatal("zero records accepted")
 	}
-	if _, err := SortRecords(3, []float64{1, 2}, true); err == nil {
+	if _, err := SortRecords(context.Background(), 3, []float64{1, 2}, true); err == nil {
 		t.Fatal("key count mismatch accepted")
 	}
-	if _, err := SortRecords(600, make([]float64, 600), true); err == nil {
+	if _, err := SortRecords(context.Background(), 600, make([]float64, 600), true); err == nil {
 		t.Fatal("too many records accepted")
 	}
 }
@@ -187,7 +189,7 @@ func TestSolveLinpackStyle(t *testing.T) {
 	for i := range b {
 		b[i] = r.NormFloat64()
 	}
-	res, err := Solve(n, a, b)
+	res, err := Solve(context.Background(), n, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +245,7 @@ func hostSolve(n int, a [][]float64, b []float64) []float64 {
 }
 
 func TestSolveValidation(t *testing.T) {
-	if _, err := Solve(3, randMatrix(rand.New(rand.NewSource(1)), 3), []float64{1}); err == nil {
+	if _, err := Solve(context.Background(), 3, randMatrix(rand.New(rand.NewSource(1)), 3), []float64{1}); err == nil {
 		t.Fatal("bad RHS length accepted")
 	}
 }

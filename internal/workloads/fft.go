@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/bits"
@@ -46,7 +48,7 @@ func init() {
 		for i := range in {
 			in[i] = complex(r.NormFloat64(), r.NormFloat64())
 		}
-		res, err := DistributedFFT(cfg.Dim, in)
+		res, err := DistributedFFT(cfg.Context(), cfg.Dim, in)
 		if err != nil {
 			return Report{}, err
 		}
@@ -79,12 +81,12 @@ func init() {
 // n-cube with every exchange nearest-neighbor. Remaining stages are
 // node-local. Twiddle factors come from a host-computed ROM, as the
 // machine would hold them in constant tables.
-func DistributedFFT(dim int, in []complex128) (FFTResult, error) {
+func DistributedFFT(ctx context.Context, dim int, in []complex128) (FFTResult, error) {
 	n := len(in)
 	if n == 0 || n&(n-1) != 0 {
 		return FFTResult{}, fmt.Errorf("workloads: FFT size must be a power of two")
 	}
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, dim)
 	if err != nil {
 		return FFTResult{}, err
@@ -188,6 +190,9 @@ func DistributedFFT(dim int, in []complex128) (FFTResult, error) {
 		})
 	}
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return FFTResult{}, err // canceled: results are partial
+	}
 	if firstErr != nil {
 		return FFTResult{}, firstErr
 	}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,7 +29,7 @@ func init() {
 	RegisterFunc("lu", []string{"n", "seed"}, func(cfg Config) (Report, error) {
 		r := rand.New(rand.NewSource(cfg.Seed))
 		a := randMatDD(r, cfg.N)
-		res, err := LU(cfg.N, a, true)
+		res, err := LU(cfg.Context(), cfg.N, a, true)
 		if err != nil {
 			return Report{}, err
 		}
@@ -71,11 +73,11 @@ func luResidual(n int, a [][]float64, res LUResult) float64 {
 // physically rather than chasing pointers. With moveRows false the swap
 // goes element-by-element through the control processor's word port
 // (1.6 µs per 64-bit element), the ablation the paper argues against.
-func LU(n int, a [][]float64, moveRows bool) (LUResult, error) {
+func LU(ctx context.Context, n int, a [][]float64, moveRows bool) (LUResult, error) {
 	if n <= 0 || n > memory.F64PerRow {
 		return LUResult{}, fmt.Errorf("workloads: LU size 1..%d", memory.F64PerRow)
 	}
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	nd := node.New(k, 0)
 
 	// U evolves in memory rows 300+i (bank B); L accumulates in rows
@@ -174,6 +176,9 @@ func LU(n int, a [][]float64, moveRows bool) (LUResult, error) {
 		}
 	})
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return LUResult{}, err // canceled: results are partial
+	}
 	if firstErr != nil {
 		return LUResult{}, firstErr
 	}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -26,7 +28,7 @@ func init() {
 	RegisterFunc("matmul", []string{"dim", "n", "seed"}, func(cfg Config) (Report, error) {
 		r := rand.New(rand.NewSource(cfg.Seed))
 		a, b := randMat(r, cfg.N), randMat(r, cfg.N)
-		res, err := DistributedMatMul(cfg.Dim, cfg.N, a, b)
+		res, err := DistributedMatMul(cfg.Context(), cfg.Dim, cfg.N, a, b)
 		if err != nil {
 			return Report{}, err
 		}
@@ -66,8 +68,8 @@ func (r MatMulResult) MFLOPS() float64 {
 //
 // N must be ≤ 128 (one memory row per matrix row) and divisible by the
 // node count.
-func DistributedMatMul(dim int, n int, a, b [][]float64) (MatMulResult, error) {
-	k := sim.NewKernel()
+func DistributedMatMul(ctx context.Context, dim int, n int, a, b [][]float64) (MatMulResult, error) {
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, dim)
 	if err != nil {
 		return MatMulResult{}, err
@@ -172,6 +174,9 @@ func DistributedMatMul(dim int, n int, a, b [][]float64) (MatMulResult, error) {
 		}
 	})
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return MatMulResult{}, err // canceled: results are partial
+	}
 	_ = collect
 	if firstErr != nil {
 		return MatMulResult{}, firstErr

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries/internal/fault"
@@ -58,7 +60,7 @@ type RecoveryResult struct {
 func init() {
 	RegisterFunc("recovery", []string{"dim", "phases", "rows", "pad", "ckpt", "faults"}, func(cfg Config) (Report, error) {
 		rowsPerPhase := cfg.Rows/25 + 1
-		res, err := FaultTolerantSAXPY(cfg.Dim, cfg.Phases, rowsPerPhase, cfg.Pad, cfg.Ckpt, cfg.Faults)
+		res, err := FaultTolerantSAXPY(cfg.Context(), cfg.Dim, cfg.Phases, rowsPerPhase, cfg.Pad, cfg.Ckpt, cfg.Faults)
 		if err != nil {
 			return Report{}, err
 		}
@@ -92,11 +94,11 @@ func (r RecoveryResult) GoodputMBps() float64 {
 // after the last checkpoint. The run is declared Correct only if every
 // result row, every exchanged row, and every counter is bit-exact —
 // under injected bit errors, outages, and crashes.
-func FaultTolerantSAXPY(dim, phases, rowsPerPhase int, phasePad, ckptInterval sim.Duration, plan *fault.Plan) (RecoveryResult, error) {
+func FaultTolerantSAXPY(ctx context.Context, dim, phases, rowsPerPhase int, phasePad, ckptInterval sim.Duration, plan *fault.Plan) (RecoveryResult, error) {
 	if phases < 1 || ftOutRowBase+phases > memory.NumRows {
 		return RecoveryResult{}, fmt.Errorf("workloads: phase count %d out of range", phases)
 	}
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, dim)
 	if err != nil {
 		return RecoveryResult{}, err
@@ -118,6 +120,9 @@ func FaultTolerantSAXPY(dim, phases, rowsPerPhase int, phasePad, ckptInterval si
 		})
 	})
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return RecoveryResult{}, err // canceled: results are partial
+	}
 	if runErr != nil {
 		return RecoveryResult{}, runErr
 	}

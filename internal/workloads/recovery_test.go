@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"testing"
 
 	"tseries/internal/fault"
@@ -8,7 +10,7 @@ import (
 )
 
 func TestFaultTolerantSAXPYCleanRun(t *testing.T) {
-	res, err := FaultTolerantSAXPY(2, 4, 2, 0, 0, nil)
+	res, err := FaultTolerantSAXPY(context.Background(), 2, 4, 2, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +27,7 @@ func TestFaultTolerantSAXPYCleanRun(t *testing.T) {
 
 func TestFaultTolerantSAXPYUnderBitErrors(t *testing.T) {
 	plan := &fault.Plan{Seed: 7, BER: 1e-6}
-	res, err := FaultTolerantSAXPY(2, 4, 2, 0, 0, plan)
+	res, err := FaultTolerantSAXPY(context.Background(), 2, 4, 2, 0, 0, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func TestFaultTolerantSAXPYUnderBitErrors(t *testing.T) {
 
 func TestFaultTolerantSAXPYDeterminism(t *testing.T) {
 	run := func() RecoveryResult {
-		res, err := FaultTolerantSAXPY(2, 3, 2, 0, 0, &fault.Plan{Seed: 42, BER: 1e-6})
+		res, err := FaultTolerantSAXPY(context.Background(), 2, 3, 2, 0, 0, &fault.Plan{Seed: 42, BER: 1e-6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +67,7 @@ func TestFaultTolerantSAXPYCrashRollback(t *testing.T) {
 	plan := &fault.Plan{Seed: 3, Events: []fault.Event{
 		{At: 12 * sim.Second, Kind: fault.Crash, Node: 2},
 	}}
-	res, err := FaultTolerantSAXPY(2, 5, 1, 2*sim.Second, 0, plan)
+	res, err := FaultTolerantSAXPY(context.Background(), 2, 5, 1, 2*sim.Second, 0, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestFaultTolerantSAXPYLinkOutage(t *testing.T) {
 		{At: 5 * sim.Second, Kind: fault.LinkDown, Node: 0, Dim: 0},
 		{At: 40 * sim.Second, Kind: fault.LinkUp, Node: 0, Dim: 0},
 	}}
-	res, err := FaultTolerantSAXPY(2, 6, 1, 2*sim.Second, 0, plan)
+	res, err := FaultTolerantSAXPY(context.Background(), 2, 6, 1, 2*sim.Second, 0, plan)
 	if err != nil {
 		t.Fatal(err)
 	}

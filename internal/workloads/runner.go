@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -27,6 +28,21 @@ type Config struct {
 	Ckpt   sim.Duration // periodic checkpoint interval (recovery; 0 = initial only)
 	Faults *fault.Plan  // optional fault plan (recovery)
 	Chaos  *fault.Chaos // optional randomized chaos recipe (soak)
+
+	// Ctx optionally bounds the run: when it is canceled, the workload's
+	// kernel tears the simulation down at the next event boundary and Run
+	// returns the context's error. Nil means context.Background(). Ctx
+	// shapes how a run is hosted, not what it computes, so it is excluded
+	// from result-cache keys (internal/serve).
+	Ctx context.Context `json:"-"`
+}
+
+// Context returns the run-bounding context, never nil.
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig returns the values the tsim command starts from.

@@ -11,6 +11,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries/internal/fparith"
@@ -36,7 +38,7 @@ func init() {
 		if reps < 1 {
 			reps = 1
 		}
-		res, err := DistributedSAXPY(cfg.Dim, cfg.Rows, reps)
+		res, err := DistributedSAXPY(cfg.Context(), cfg.Dim, cfg.Rows, reps)
 		if err != nil {
 			return Report{}, err
 		}
@@ -57,8 +59,8 @@ func (r SAXPYResult) MFLOPS() float64 {
 // operations on every node of a dim-cube, fully in parallel — the
 // aggregate-throughput workload behind the paper's 128 MFLOPS module
 // and 1 GFLOPS cabinet figures.
-func DistributedSAXPY(dim, rowsPerNode, reps int) (SAXPYResult, error) {
-	k := sim.NewKernel()
+func DistributedSAXPY(ctx context.Context, dim, rowsPerNode, reps int) (SAXPYResult, error) {
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, dim)
 	if err != nil {
 		return SAXPYResult{}, err
@@ -94,6 +96,9 @@ func DistributedSAXPY(dim, rowsPerNode, reps int) (SAXPYResult, error) {
 		})
 	}
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return SAXPYResult{}, err // canceled: results are partial
+	}
 	if firstErr != nil {
 		return SAXPYResult{}, firstErr
 	}

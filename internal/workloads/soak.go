@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 
 	"tseries/internal/fault"
@@ -89,7 +91,7 @@ type SoakResult struct {
 
 func init() {
 	RegisterFunc("soak", []string{"dim", "reps", "phases", "rows", "pad", "chaos"}, func(cfg Config) (Report, error) {
-		res, err := Soak(SoakParams{
+		res, err := Soak(cfg.Context(), SoakParams{
 			Dim:            cfg.Dim,
 			Epochs:         cfg.Reps,
 			PhasesPerEpoch: cfg.Phases,
@@ -122,7 +124,7 @@ func init() {
 
 // Soak runs the chaos scenario and its fault-free golden twin, and
 // compares their final states.
-func Soak(params SoakParams) (SoakResult, error) {
+func Soak(ctx context.Context, params SoakParams) (SoakResult, error) {
 	if params.Epochs < 1 || params.PhasesPerEpoch < 1 {
 		return SoakResult{}, fmt.Errorf("workloads: soak needs at least one epoch and one phase")
 	}
@@ -131,7 +133,7 @@ func Soak(params SoakParams) (SoakResult, error) {
 		return SoakResult{}, fmt.Errorf("workloads: %d soak phases overflow node memory", total)
 	}
 	plan := params.Plan
-	golden, err := soakRun(params, nil)
+	golden, err := soakRun(ctx, params, nil)
 	if err != nil {
 		return SoakResult{}, fmt.Errorf("workloads: fault-free golden run failed: %w", err)
 	}
@@ -141,7 +143,7 @@ func Soak(params SoakParams) (SoakResult, error) {
 		golden.Correct = golden.Correct && golden.LeakedProcs == 0 && golden.DiskUnitsHeld == 0
 		return golden, nil
 	}
-	res, err := soakRun(params, plan)
+	res, err := soakRun(ctx, params, plan)
 	if err != nil {
 		return SoakResult{}, err
 	}
@@ -156,9 +158,9 @@ func Soak(params SoakParams) (SoakResult, error) {
 // soakRun executes one soak instance. plan nil with params.Chaos set
 // expands the recipe; plan nil with no chaos runs fault-free (the
 // golden twin).
-func soakRun(params SoakParams, plan *fault.Plan) (SoakResult, error) {
+func soakRun(ctx context.Context, params SoakParams, plan *fault.Plan) (SoakResult, error) {
 	total := params.Epochs * params.PhasesPerEpoch
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, params.Dim)
 	if err != nil {
 		return SoakResult{}, err
@@ -201,6 +203,9 @@ func soakRun(params SoakParams, plan *fault.Plan) (SoakResult, error) {
 		})
 	})
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return SoakResult{}, err // canceled: results are partial
+	}
 	if runErr != nil {
 		return SoakResult{}, runErr
 	}

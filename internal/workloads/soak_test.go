@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -14,7 +16,7 @@ func soakParams() SoakParams {
 }
 
 func TestSoakFaultFree(t *testing.T) {
-	res, err := Soak(soakParams())
+	res, err := Soak(context.Background(), soakParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func TestSoakSilentCrashHealsViaHeartbeats(t *testing.T) {
 	p.Plan = &fault.Plan{Seed: 1, Events: []fault.Event{
 		{At: 18500 * sim.Millisecond, Kind: fault.Crash, Node: 3, Silent: true},
 	}}
-	res, err := Soak(p)
+	res, err := Soak(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestSoakHangDetected(t *testing.T) {
 	p.Plan = &fault.Plan{Seed: 1, Events: []fault.Event{
 		{At: 18500 * sim.Millisecond, Kind: fault.Hang, Node: 3, Silent: true},
 	}}
-	res, err := Soak(p)
+	res, err := Soak(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestSoakDegradedWhenNoSpares(t *testing.T) {
 	p.Plan = &fault.Plan{Seed: 1, Events: []fault.Event{
 		{At: 18500 * sim.Millisecond, Kind: fault.Crash, Node: 2, Silent: true},
 	}}
-	res, err := Soak(p)
+	res, err := Soak(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestSoakChaosDeterministic(t *testing.T) {
 	run := func() SoakResult {
 		p := soakParams()
 		p.Chaos = &fault.Chaos{Seed: 7, Dur: 20 * sim.Second, Crashes: 1}
-		res, err := Soak(p)
+		res, err := Soak(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +174,7 @@ func TestSoakHangThenCrashCascade(t *testing.T) {
 		{At: 19928300 * sim.Microsecond, Kind: fault.Hang, Node: 1, Silent: true},
 		{At: 47372600 * sim.Microsecond, Kind: fault.Crash, Node: 2, Silent: true},
 	}}
-	res, err := Soak(p)
+	res, err := Soak(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 
@@ -32,7 +34,7 @@ func init() {
 		for i := range b {
 			b[i] = r.NormFloat64()
 		}
-		res, err := Solve(cfg.N, a, b)
+		res, err := Solve(cfg.Context(), cfg.N, a, b)
 		if err != nil {
 			return Report{}, err
 		}
@@ -60,18 +62,18 @@ func (r SolveResult) MFLOPS() float64 {
 // elimination, row-port pivoting) and then performs the forward and back
 // substitutions with the control processor orchestrating per-column
 // SAXPYs — the whole LINPACK recipe on T Series hardware.
-func Solve(n int, a [][]float64, b []float64) (SolveResult, error) {
+func Solve(ctx context.Context, n int, a [][]float64, b []float64) (SolveResult, error) {
 	if len(b) != n {
 		return SolveResult{}, fmt.Errorf("workloads: b has %d entries for n=%d", len(b), n)
 	}
-	lu, err := LU(n, a, true)
+	lu, err := LU(ctx, n, a, true)
 	if err != nil {
 		return SolveResult{}, err
 	}
 
 	// Substitutions on a fresh node: L and U rows staged in bank B, the
 	// evolving right-hand side in bank A row 0.
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	nd := node.New(k, 0)
 	const (
 		lBase = 300
@@ -160,6 +162,9 @@ func Solve(n int, a [][]float64, b []float64) (SolveResult, error) {
 		res.SolveT = p.Now().Sub(mid)
 	})
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return SolveResult{}, err // canceled: results are partial
+	}
 	if firstErr != nil {
 		return SolveResult{}, firstErr
 	}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 
@@ -27,7 +29,7 @@ func init() {
 		for i := range keys {
 			keys[i] = r.NormFloat64()
 		}
-		res, err := SortRecords(cfg.N, keys, true)
+		res, err := SortRecords(cfg.Context(), cfg.N, keys, true)
 		if err != nil {
 			return Report{}, err
 		}
@@ -59,14 +61,14 @@ func init() {
 // The sort is selection sort (deterministic, exchange-heavy — it
 // showcases the move cost; the comparison scans use timed word reads
 // either way).
-func SortRecords(nRecords int, keys []float64, moveRows bool) (SortResult, error) {
+func SortRecords(ctx context.Context, nRecords int, keys []float64, moveRows bool) (SortResult, error) {
 	if nRecords <= 0 || nRecords > 512 {
 		return SortResult{}, fmt.Errorf("workloads: 1..512 records")
 	}
 	if len(keys) != nRecords {
 		return SortResult{}, fmt.Errorf("workloads: %d keys for %d records", len(keys), nRecords)
 	}
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	nd := node.New(k, 0)
 	// Record i occupies memory row 300+i; key at element 0, body filled
 	// with a recognisable pattern tied to the key.
@@ -133,6 +135,9 @@ func SortRecords(nRecords int, keys []float64, moveRows bool) (SortResult, error
 		}
 	})
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return SortResult{}, err // canceled: results are partial
+	}
 	if firstErr != nil {
 		return SortResult{}, firstErr
 	}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -28,7 +30,7 @@ func init() {
 			init[i] = make([]float64, grid)
 			init[i][0] = 100 // hot west wall
 		}
-		res, err := DistributedStencil(cfg.Dim/2, cfg.Dim-cfg.Dim/2, grid, init, cfg.Iters)
+		res, err := DistributedStencil(cfg.Context(), cfg.Dim/2, cfg.Dim-cfg.Dim/2, grid, init, cfg.Iters)
 		if err != nil {
 			return Report{}, err
 		}
@@ -59,14 +61,14 @@ func init() {
 // processors embedded in the cube via Gray coding (Figure 3's mesh
 // mapping: every halo exchange is a single-hop cube message). Fixed
 // boundary values come from the initial grid edge.
-func DistributedStencil(dimX, dimY int, grid int, init [][]float64, iters int) (StencilResult, error) {
+func DistributedStencil(ctx context.Context, dimX, dimY int, grid int, init [][]float64, iters int) (StencilResult, error) {
 	px, py := cube.Nodes(dimX), cube.Nodes(dimY)
 	mesh, err := cube.NewMesh(px, py)
 	if err != nil {
 		return StencilResult{}, err
 	}
 	dim := mesh.CubeDim()
-	k := sim.NewKernel()
+	k := sim.NewKernelCtx(ctx)
 	m, err := machine.New(k, dim)
 	if err != nil {
 		return StencilResult{}, err
@@ -214,6 +216,9 @@ func DistributedStencil(dimX, dimY int, grid int, init [][]float64, iters int) (
 		})
 	}
 	end := k.Run(0)
+	if err := k.Err(); err != nil {
+		return StencilResult{}, err // canceled: results are partial
+	}
 	if firstErr != nil {
 		return StencilResult{}, firstErr
 	}

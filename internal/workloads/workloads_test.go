@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -12,7 +14,7 @@ func TestDistributedSAXPYScales(t *testing.T) {
 	// homogeneity story.
 	var rates []float64
 	for _, dim := range []int{0, 1, 2, 3} {
-		res, err := DistributedSAXPY(dim, 50, 1)
+		res, err := DistributedSAXPY(context.Background(), dim, 50, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +48,7 @@ func TestBusSAXPYSaturates(t *testing.T) {
 		t.Fatalf("bus machine kept scaling: 64p/16p = %.2f", sp)
 	}
 	// And the hypercube at 64 nodes crushes the bus at 64 procs.
-	cube, err := DistributedSAXPY(6, 50, 1)
+	cube, err := DistributedSAXPY(context.Background(), 6, 50, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func TestDistributedMatMulCorrect(t *testing.T) {
 	n := 32
 	a := randMatrix(r, n)
 	b := randMatrix(r, n)
-	res, err := DistributedMatMul(2, n, a, b) // 4 nodes
+	res, err := DistributedMatMul(context.Background(), 2, n, a, b) // 4 nodes
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +103,11 @@ func TestMatMulBalanceRule(t *testing.T) {
 	// must LOSE.
 	n := 32
 	a, b := randMatrix(r, n), randMatrix(r, n)
-	r1, err := DistributedMatMul(0, n, a, b)
+	r1, err := DistributedMatMul(context.Background(), 0, n, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r4, err := DistributedMatMul(2, n, a, b)
+	r4, err := DistributedMatMul(context.Background(), 2, n, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +119,11 @@ func TestMatMulBalanceRule(t *testing.T) {
 	// ~1.5× one node (per the paper's rule, roughly break-even).
 	n = 128
 	a, b = randMatrix(r, n), randMatrix(r, n)
-	b1, err := DistributedMatMul(0, n, a, b)
+	b1, err := DistributedMatMul(context.Background(), 0, n, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, err := DistributedMatMul(1, n, a, b)
+	b2, err := DistributedMatMul(context.Background(), 1, n, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +144,10 @@ func TestMatMulBalanceRule(t *testing.T) {
 
 func TestMatMulValidation(t *testing.T) {
 	a := randMatrix(rand.New(rand.NewSource(1)), 6)
-	if _, err := DistributedMatMul(2, 6, a, a); err == nil {
+	if _, err := DistributedMatMul(context.Background(), 2, 6, a, a); err == nil {
 		t.Fatal("N not divisible by nodes accepted")
 	}
-	if _, err := DistributedMatMul(0, 500, a, a); err == nil {
+	if _, err := DistributedMatMul(context.Background(), 0, 500, a, a); err == nil {
 		t.Fatal("oversized N accepted")
 	}
 }
@@ -154,7 +156,7 @@ func TestLUCorrect(t *testing.T) {
 	r := rand.New(rand.NewSource(99))
 	n := 24
 	a := randMatrix(r, n)
-	res, err := LU(n, a, true)
+	res, err := LU(context.Background(), n, a, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +208,11 @@ func TestLURowMoveBeatsWordMove(t *testing.T) {
 	for i := range a {
 		a[n-1-i][i] += float64(i + 2) // off-diagonal dominance forces swaps
 	}
-	fast, err := LU(n, a, true)
+	fast, err := LU(context.Background(), n, a, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := LU(n, a, false)
+	slow, err := LU(context.Background(), n, a, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +241,7 @@ func TestLUSingular(t *testing.T) {
 	for i := range a {
 		a[i] = make([]float64, n) // all zeros
 	}
-	if _, err := LU(n, a, true); err == nil {
+	if _, err := LU(context.Background(), n, a, true); err == nil {
 		t.Fatal("singular matrix factored")
 	}
 }
@@ -253,7 +255,7 @@ func TestFFTCorrect(t *testing.T) {
 		for i := range in {
 			in[i] = complex(r.NormFloat64(), r.NormFloat64())
 		}
-		res, err := DistributedFFT(tc.dim, in)
+		res, err := DistributedFFT(context.Background(), tc.dim, in)
 		if err != nil {
 			t.Fatalf("dim %d: %v", tc.dim, err)
 		}
@@ -274,11 +276,11 @@ func TestFFTButterflyUsesNearestNeighbors(t *testing.T) {
 	for i := range in {
 		in[i] = complex(float64(i), 0)
 	}
-	r2, err := DistributedFFT(1, in)
+	r2, err := DistributedFFT(context.Background(), 1, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := DistributedFFT(3, in)
+	r8, err := DistributedFFT(context.Background(), 3, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,10 +292,10 @@ func TestFFTButterflyUsesNearestNeighbors(t *testing.T) {
 }
 
 func TestFFTValidation(t *testing.T) {
-	if _, err := DistributedFFT(0, make([]complex128, 12)); err == nil {
+	if _, err := DistributedFFT(context.Background(), 0, make([]complex128, 12)); err == nil {
 		t.Fatal("non-power-of-two accepted")
 	}
-	if _, err := DistributedFFT(3, make([]complex128, 4)); err == nil {
+	if _, err := DistributedFFT(context.Background(), 3, make([]complex128, 4)); err == nil {
 		t.Fatal("fewer points than nodes accepted")
 	}
 }
@@ -305,7 +307,7 @@ func TestStencilCorrect(t *testing.T) {
 		init[i] = make([]float64, grid)
 		init[i][0] = 100 // hot west wall
 	}
-	res, err := DistributedStencil(1, 1, grid, init, 20) // 2×2 mesh
+	res, err := DistributedStencil(context.Background(), 1, 1, grid, init, 20) // 2×2 mesh
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +330,7 @@ func TestStencilMeshShapes(t *testing.T) {
 	}
 	want := HostStencil(grid, init, 10)
 	for _, shape := range [][2]int{{0, 0}, {2, 0}, {1, 2}, {2, 2}} {
-		res, err := DistributedStencil(shape[0], shape[1], grid, init, 10)
+		res, err := DistributedStencil(context.Background(), shape[0], shape[1], grid, init, 10)
 		if err != nil {
 			t.Fatalf("mesh %v: %v", shape, err)
 		}
@@ -344,11 +346,11 @@ func TestStencilMeshShapes(t *testing.T) {
 
 func TestWorkloadDeterminism(t *testing.T) {
 	// Identical runs produce bit-identical simulated times and results.
-	r1, err := DistributedSAXPY(2, 20, 1)
+	r1, err := DistributedSAXPY(context.Background(), 2, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := DistributedSAXPY(2, 20, 1)
+	r2, err := DistributedSAXPY(context.Background(), 2, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,11 +361,11 @@ func TestWorkloadDeterminism(t *testing.T) {
 	for i := range in {
 		in[i] = complex(float64(i%7), float64(i%5))
 	}
-	f1, err := DistributedFFT(2, in)
+	f1, err := DistributedFFT(context.Background(), 2, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := DistributedFFT(2, in)
+	f2, err := DistributedFFT(context.Background(), 2, in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,8 @@
 package tseries
 
 import (
+	"context"
+
 	"tseries/internal/core"
 	"tseries/internal/fault"
 	"tseries/internal/machine"
@@ -86,19 +88,21 @@ type SweepPoint = core.SweepPoint
 func Experiments() []Experiment { return core.All() }
 
 // RunExperiment runs one experiment by ID ("E1".."E17", "A1".."A6").
-func RunExperiment(id string) (*Result, error) {
+// Canceling ctx aborts the experiment at its kernel's next event
+// boundary and returns the context's error.
+func RunExperiment(ctx context.Context, id string) (*Result, error) {
 	e, err := core.Find(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.Run(ctx)
 }
 
 // RunSuite runs the given experiments across `workers` host goroutines
 // (every experiment builds its own System, so runs are independent);
 // results come back in suite order, byte-identical to a serial run.
-func RunSuite(exps []Experiment, workers int) ([]*Result, error) {
-	return core.RunSuite(exps, workers)
+func RunSuite(ctx context.Context, exps []Experiment, workers int) ([]*Result, error) {
+	return core.RunSuite(ctx, exps, workers)
 }
 
 // Workloads lists the registered workload names.
@@ -108,16 +112,18 @@ func Workloads() []string { return workloads.Names() }
 func DefaultWorkloadConfig() WorkloadConfig { return workloads.DefaultConfig() }
 
 // RunWorkload runs one registered workload under the given Config.
-func RunWorkload(name string, cfg WorkloadConfig) (WorkloadReport, error) {
+// Canceling ctx aborts the run at its kernel's next event boundary.
+func RunWorkload(ctx context.Context, name string, cfg WorkloadConfig) (WorkloadReport, error) {
 	r, err := workloads.Get(name)
 	if err != nil {
 		return WorkloadReport{}, err
 	}
+	cfg.Ctx = ctx
 	return r.Run(cfg)
 }
 
 // RunSweep runs a workload at each cube dimension in dims across
 // `workers` goroutines, in deterministic dims order.
-func RunSweep(name string, base WorkloadConfig, dims []int, workers int) ([]SweepPoint, error) {
-	return core.RunSweep(name, base, dims, workers)
+func RunSweep(ctx context.Context, name string, base WorkloadConfig, dims []int, workers int) ([]SweepPoint, error) {
+	return core.RunSweep(ctx, name, base, dims, workers)
 }

@@ -1,6 +1,8 @@
 package tseries
 
 import (
+	"context"
+
 	"testing"
 
 	"tseries/internal/comm"
@@ -57,13 +59,13 @@ func TestExperimentRegistryComplete(t *testing.T) {
 			t.Fatalf("experiment %s missing from the registry", want)
 		}
 	}
-	if _, err := RunExperiment("E0"); err == nil {
+	if _, err := RunExperiment(context.Background(), "E0"); err == nil {
 		t.Fatal("unknown experiment ran")
 	}
 }
 
 func TestQuickstartExperiment(t *testing.T) {
-	r, err := RunExperiment("E3")
+	r, err := RunExperiment(context.Background(), "E3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func TestFaultPlanSAXPYSmoke(t *testing.T) {
 	if plan.Seed != 11 || plan.BER != 1e-6 {
 		t.Fatalf("plan parsed wrong: %+v", plan)
 	}
-	res, err := workloads.FaultTolerantSAXPY(2, 3, 2, 0, 0, plan)
+	res, err := workloads.FaultTolerantSAXPY(context.Background(), 2, 3, 2, 0, 0, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
