@@ -12,6 +12,7 @@
 //	tsim -workload saxpy  -dim 3 -rows 200
 //	tsim -workload matmul -dim 2 -n 64 -json
 //	tsim -workload fft    -sweep dim=1..5 -n 1024 -parallel 4
+//	tsim -workload pring  -dim 3 -kernel-shards 4
 //	tsim -workload recovery -dim 2 -phases 6 -faults seed=7,ber=1e-6,crash=2@12s -ckpt 8s
 //	tsim -workload soak -dim 3 -reps 2 -phases 2 -chaos seed=7,dur=60s,crashes=2
 //	tsim -bench -short -benchdir . -bench-baseline BENCH_kernel.json -bench-suite-baseline BENCH_suite.json
@@ -82,6 +83,8 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 	fs.IntVar(&cfg.Reps, "reps", cfg.Reps, "SAXPY sweep repetitions")
 	fs.IntVar(&cfg.Phases, "phases", cfg.Phases, "recovery workload phases")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "input generator seed")
+	fs.IntVar(&cfg.KernelShards, "kernel-shards", cfg.KernelShards,
+		"logical kernel shards per simulation (0/1 = serial); output is byte-identical at any value")
 	faults := fs.String("faults", "", "fault plan, e.g. seed=7,ber=1e-6,crash=2@12s,down=0.1@5s+2s,flip=1:4096.3@9s,disk=0.5@14s")
 	chaos := fs.String("chaos", "", "randomized chaos recipe for -workload soak, e.g. seed=7,dur=60s,crashes=2,hangs=1")
 	ckpt := fs.Duration("ckpt", 0, "periodic checkpoint interval for -workload recovery (0 = initial checkpoint only)")
@@ -136,6 +139,14 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 	case *benchMode:
 		return runBench(stdout, stderr, *benchDir, *benchBaseline, *benchSuiteBaseline, *short)
 	case *experiment != "":
+		if cfg.KernelShards > 1 {
+			// Experiments build machine simulations, and the machine's
+			// partition plan beyond one shard is geometry-only (see
+			// machine.PartitionPlan.Buildable): they degrade to the serial
+			// plan deterministically. The note goes to stderr so stdout
+			// stays byte-identical to a serial run — which CI verifies.
+			fmt.Fprintf(stderr, "tsim: -kernel-shards %d: machine experiments run the serial plan; output is byte-identical\n", cfg.KernelShards)
+		}
 		return runExperiments(ctx, stdout, stderr, *experiment, *parallel, *jsonOut)
 	case *workload != "":
 		return runWorkload(ctx, stdout, stderr, *workload, cfg, *sweep, *parallel, *jsonOut)

@@ -161,6 +161,43 @@ func TestExperimentAllGolden(t *testing.T) {
 		i, len(got), len(want), ctx(got), ctx(want))
 }
 
+// TestKernelShardsFlagIsOutputInvariant pins the CLI-level determinism
+// contract: -kernel-shards changes only how many host workers execute
+// the simulation, never a byte of output. The shard-native pring
+// workload genuinely partitions; experiments degrade to the serial
+// plan (machine.PartitionPlan.Buildable) with a stderr note.
+func TestKernelShardsFlagIsOutputInvariant(t *testing.T) {
+	base := []string{"-workload", "pring", "-dim", "3", "-rows", "40", "-iters", "3", "-json"}
+	code, want, stderr := runCLI(t, base...)
+	if code != 0 {
+		t.Fatalf("serial exit = %d, stderr: %s", code, stderr)
+	}
+	for _, shards := range []string{"2", "4"} {
+		code, got, stderr := runCLI(t, append([]string{"-kernel-shards", shards}, base...)...)
+		if code != 0 {
+			t.Fatalf("shards=%s: exit = %d, stderr: %s", shards, code, stderr)
+		}
+		if got != want {
+			t.Fatalf("shards=%s: output differs from serial\nserial: %s\nsharded: %s", shards, want, got)
+		}
+	}
+
+	code, want, stderr = runCLI(t, "-experiment", "E1", "-json")
+	if code != 0 {
+		t.Fatalf("E1 serial exit = %d, stderr: %s", code, stderr)
+	}
+	code, got, stderr := runCLI(t, "-experiment", "E1", "-json", "-kernel-shards", "4")
+	if code != 0 {
+		t.Fatalf("E1 sharded exit = %d, stderr: %s", code, stderr)
+	}
+	if got != want {
+		t.Fatalf("E1: -kernel-shards changed experiment output\nserial: %s\nsharded: %s", want, got)
+	}
+	if !strings.Contains(stderr, "serial plan") {
+		t.Fatalf("expected the serial-plan note on stderr, got: %q", stderr)
+	}
+}
+
 // TestBenchWritesTrajectories exercises the -bench path end to end:
 // both JSON documents land in -benchdir, parse, and carry the expected
 // schemas, and a generous baseline passes the regression gate.

@@ -42,6 +42,7 @@ func main() {
 	rate := fs.Float64("rate", 50, "per-tenant submissions per second")
 	burst := fs.Float64("burst", 100, "per-tenant submission burst")
 	inflight := fs.Int("inflight", 32, "per-tenant queued+running ceiling")
+	shardBudget := fs.Int("shard-budget", 0, "pool-wide extra kernel-shard workers (0: 2x workers; negative disables sharding)")
 	fs.Parse(os.Args[1:])
 
 	srv := serve.New(serve.Options{
@@ -52,6 +53,7 @@ func main() {
 		Rate:        *rate,
 		Burst:       *burst,
 		MaxInFlight: *inflight,
+		ShardBudget: *shardBudget,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -44,6 +44,10 @@ type Comparison struct {
 // of the same name, flagging any scenario whose ns/op grew beyond
 // threshold (e.g. 1.25 = fail on >25% regression). Scenarios present on
 // only one side are skipped — adding a benchmark must not fail the gate.
+// The multi-shard scaling scenarios (Shards > 0) are also skipped: their
+// wall-clock depends on the host's cache hierarchy and core count, so
+// they document the scaling curve rather than gate regressions — the
+// serial hot-path scenarios are the regression surface.
 // The second return is true when anything regressed.
 func CompareKernel(baseline, current KernelTrajectory, threshold float64) ([]Comparison, bool) {
 	old := make(map[string]KernelResult, len(baseline.Results))
@@ -54,7 +58,7 @@ func CompareKernel(baseline, current KernelTrajectory, threshold float64) ([]Com
 	regressed := false
 	for _, r := range current.Results {
 		b, ok := old[r.Name]
-		if !ok || b.NsPerOp <= 0 {
+		if !ok || b.NsPerOp <= 0 || r.Shards > 0 || b.Shards > 0 {
 			continue
 		}
 		c := Comparison{

@@ -38,17 +38,25 @@ type KernelResult struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	WallNs       int64   `json:"wall_ns"`
 	Events       int64   `json:"events"`
+	// Shards is the logical shard count for the parallel-kernel scaling
+	// scenarios (zero for the serial hot-path scenarios), so serial and
+	// sharded trajectories are distinguishable in the baseline.
+	Shards int `json:"shards,omitempty"`
 }
 
 // KernelTrajectory is the BENCH_kernel.json document.
 type KernelTrajectory struct {
-	Schema    string         `json:"schema"`
-	Short     bool           `json:"short"`
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"num_cpu"`
-	Results   []KernelResult `json:"results"`
+	Schema    string `json:"schema"`
+	Short     bool   `json:"short"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs records the host parallelism the measurement ran under:
+	// with the parallel kernel, events/sec depends on it, not just on
+	// num_cpu.
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Results    []KernelResult `json:"results"`
 }
 
 // scenario builds a fresh kernel, executes n operations of one hot-path
@@ -215,18 +223,27 @@ func MeasureKernel(short bool) KernelTrajectory {
 		minTime = 25 * time.Millisecond
 	}
 	t := KernelTrajectory{
-		Schema:    KernelSchema,
-		Short:     short,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Schema:     KernelSchema,
+		Short:      short,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, s := range kernelScenarios() {
 		t.Results = append(t.Results, measure(s.name, minTime, s.run))
 	}
 	for _, s := range datapathScenarios() {
 		t.Results = append(t.Results, measure(s.name, minTime, s.run))
+	}
+	// The scaling scenarios carry a fixed standing population whose
+	// planting cost dilutes short samples, so they measure over a longer
+	// window — the steady state is what the curve is about.
+	for _, s := range shardScenarios() {
+		r := measure(s.name, 4*minTime, s.run)
+		r.Shards = s.shards
+		t.Results = append(t.Results, r)
 	}
 	return t
 }

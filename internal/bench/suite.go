@@ -2,7 +2,7 @@ package bench
 
 import (
 	"context"
-
+	"runtime"
 	"time"
 
 	"tseries/internal/core"
@@ -40,11 +40,17 @@ type WorkloadTiming struct {
 // trajectory of the full experiment registry and every registered
 // workload at its default configuration.
 type SuiteTrajectory struct {
-	Schema      string             `json:"schema"`
-	Short       bool               `json:"short"`
-	TotalWallNs int64              `json:"total_wall_ns"`
-	Experiments []ExperimentTiming `json:"experiments"`
-	Workloads   []WorkloadTiming   `json:"workloads"`
+	Schema string `json:"schema"`
+	Short  bool   `json:"short"`
+	// GoMaxProcs and KernelShards record how the suite was hosted: the
+	// host parallelism available, and the kernel-shards knob the runs
+	// used (1 = serial). Reports are shard-count-invariant by contract,
+	// but wall-clock is not, so trajectories must be distinguishable.
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	KernelShards int                `json:"kernel_shards"`
+	TotalWallNs  int64              `json:"total_wall_ns"`
+	Experiments  []ExperimentTiming `json:"experiments"`
+	Workloads    []WorkloadTiming   `json:"workloads"`
 }
 
 // MeasureSuite times every experiment and workload serially (parallel
@@ -53,7 +59,17 @@ type SuiteTrajectory struct {
 // still yields a complete trajectory. short is recorded for provenance;
 // the suite is already cheap enough to run whole.
 func MeasureSuite(short bool) SuiteTrajectory {
-	t := SuiteTrajectory{Schema: SuiteSchema, Short: short}
+	return MeasureSuiteShards(short, 1)
+}
+
+// MeasureSuiteShards is MeasureSuite with the kernel-shards hosting knob
+// applied to every workload run.
+func MeasureSuiteShards(short bool, kernelShards int) SuiteTrajectory {
+	if kernelShards < 1 {
+		kernelShards = 1
+	}
+	t := SuiteTrajectory{Schema: SuiteSchema, Short: short,
+		GoMaxProcs: runtime.GOMAXPROCS(0), KernelShards: kernelShards}
 	for _, e := range core.All() {
 		t0 := time.Now()
 		_, err := e.Run(context.Background())
@@ -65,6 +81,7 @@ func MeasureSuite(short bool) SuiteTrajectory {
 		t.Experiments = append(t.Experiments, et)
 	}
 	cfg := workloads.DefaultConfig()
+	cfg.KernelShards = kernelShards
 	for _, r := range workloads.Runners() {
 		t0 := time.Now()
 		rep, err := r.Run(cfg)

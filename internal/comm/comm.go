@@ -21,6 +21,14 @@ import (
 // header is the wire prefix of every message.
 const headerBytes = 16
 
+// HopLookahead reports the guaranteed minimum latency of one network
+// hop: even an empty-payload message pays the DMA startup plus the wire
+// time of its 16-byte header. A conservative parallel scheduler
+// (sim.ShardGroup) partitioning the machine at node granularity may use
+// it as the cross-shard synchronization window — no message injected at
+// time t can reach a neighbouring node before t+HopLookahead.
+func HopLookahead() sim.Duration { return link.TransferTime(headerBytes) }
+
 // tagMask limits tags to 24 bits: the top byte of the tag word carries
 // the hop counter that bounds detour routing.
 const tagMask = 0xffffff

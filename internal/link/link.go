@@ -58,6 +58,14 @@ const ByteTime = BitsPerByte * BitTime
 // DMAStartup is the fixed cost of arming a link DMA transfer.
 const DMAStartup = 5 * sim.Microsecond
 
+// Lookahead is the guaranteed minimum latency of any inter-node
+// transfer: even a zero-payload frame pays the DMA startup plus one
+// byte of wire time. A conservative parallel scheduler (sim.ShardGroup)
+// may safely use it as the cross-shard synchronization window for any
+// partition whose shards interact only through links — no event sent
+// through a link at time t can affect another node before t+Lookahead.
+const Lookahead = DMAStartup + ByteTime
+
 // Reliability constants. The wire protocol already carries two
 // acknowledge bits per byte; on top of that each DMA frame carries a
 // checksum, and the receiver's final acknowledge doubles as an

@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"tseries/internal/comm"
+	"tseries/internal/module"
+	"tseries/internal/sim"
+)
+
+func TestPlanPartitionGeometry(t *testing.T) {
+	cases := []struct {
+		dim, want  int
+		shards     int
+		sizes      []int // modules per shard
+		crossShard []int // hypercube dims crossing shards
+	}{
+		{dim: 6, want: 1, shards: 1, sizes: []int{8}, crossShard: nil},
+		{dim: 6, want: 2, shards: 2, sizes: []int{4, 4}, crossShard: []int{5}},
+		{dim: 6, want: 4, shards: 4, sizes: []int{2, 2, 2, 2}, crossShard: []int{4, 5}},
+		{dim: 6, want: 8, shards: 8, sizes: []int{1, 1, 1, 1, 1, 1, 1, 1}, crossShard: []int{3, 4, 5}},
+		{dim: 6, want: 3, shards: 3, sizes: []int{3, 3, 2}, crossShard: []int{3, 4, 5}},
+		{dim: 4, want: 8, shards: 2, sizes: []int{1, 1}, crossShard: []int{3}},
+		{dim: 3, want: 4, shards: 1, sizes: []int{1}, crossShard: nil},
+	}
+	for _, c := range cases {
+		p, err := PlanPartition(c.dim, c.want)
+		if err != nil {
+			t.Fatalf("PlanPartition(%d,%d): %v", c.dim, c.want, err)
+		}
+		if p.Shards != c.shards {
+			t.Errorf("dim %d want %d: got %d shards, want %d", c.dim, c.want, p.Shards, c.shards)
+		}
+		sizes := make([]int, p.Shards)
+		prev := 0
+		for m, s := range p.Assign {
+			sizes[s]++
+			if s < prev {
+				t.Errorf("dim %d want %d: assignment not contiguous at module %d", c.dim, c.want, m)
+			}
+			prev = s
+		}
+		if !reflect.DeepEqual(sizes, c.sizes) {
+			t.Errorf("dim %d want %d: shard sizes %v, want %v", c.dim, c.want, sizes, c.sizes)
+		}
+		if got := p.CrossShardDims(); !reflect.DeepEqual(got, c.crossShard) {
+			t.Errorf("dim %d want %d: cross-shard dims %v, want %v", c.dim, c.want, got, c.crossShard)
+		}
+	}
+}
+
+func TestPlanPartitionLookahead(t *testing.T) {
+	p, err := PlanPartition(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookahead <= 0 {
+		t.Fatalf("multi-shard plan must derive a positive lookahead, got %v", p.Lookahead)
+	}
+	// The floor must not exceed either physical bound: a header-only
+	// hypercube hop or a bare one-byte link frame.
+	if hop := comm.HopLookahead(); p.Lookahead > hop {
+		t.Errorf("lookahead %v exceeds hop floor %v", p.Lookahead, hop)
+	}
+	if p.Lookahead < 5*sim.Microsecond {
+		t.Errorf("lookahead %v below the DMA startup — nothing crosses shards faster than a DMA", p.Lookahead)
+	}
+	serial, _ := PlanPartition(6, 1)
+	if serial.Lookahead != 0 {
+		t.Errorf("serial plan has no cross-shard edges; lookahead %v, want 0", serial.Lookahead)
+	}
+}
+
+func TestPlanPartitionDeterministic(t *testing.T) {
+	a, _ := PlanPartition(7, 5)
+	b, _ := PlanPartition(7, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("plans diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestShardOfNodeRespectsModules(t *testing.T) {
+	p, _ := PlanPartition(6, 4)
+	for id := 0; id < p.Modules*module.NodesPerModule; id++ {
+		if p.ShardOfNode(id) != p.Assign[id/module.NodesPerModule] {
+			t.Fatalf("node %d mapped off-module", id)
+		}
+	}
+	// All eight nodes of one module land together — intramodule
+	// backplane traffic never crosses a shard.
+	for m := 0; m < p.Modules; m++ {
+		first := p.ShardOfNode(m * module.NodesPerModule)
+		for i := 1; i < module.NodesPerModule; i++ {
+			if p.ShardOfNode(m*module.NodesPerModule+i) != first {
+				t.Fatalf("module %d split across shards", m)
+			}
+		}
+	}
+}
+
+func TestBuildableOnlySerialToday(t *testing.T) {
+	serial, _ := PlanPartition(6, 1)
+	if ok, _ := serial.Buildable(); !ok {
+		t.Error("serial plan must always be buildable")
+	}
+	multi, _ := PlanPartition(6, 4)
+	ok, why := multi.Buildable()
+	if ok {
+		t.Error("multi-shard machine build is not yet partition-aware; Buildable must refuse")
+	}
+	if why == "" {
+		t.Error("refusal must explain itself")
+	}
+}

@@ -175,11 +175,35 @@ type Stats struct {
 	Retries           int64 `json:"retries"`
 	QueueDepth        int   `json:"queue_depth"`
 	Draining          bool  `json:"draining"`
+
+	// Parallel-kernel hosting: the pool-wide shard-worker budget, how
+	// much of it running jobs hold right now, and how many jobs were
+	// granted fewer shard workers than they asked for (degraded jobs
+	// still produce byte-identical results — shards are physical only).
+	ShardBudget   int   `json:"shard_budget"`
+	ShardInUse    int   `json:"shard_in_use"`
+	ShardDegraded int64 `json:"shard_degraded"`
+
+	// Aggregate kernel work executed by completed workload jobs: total
+	// simulation events, conservative windows, and cross-shard staged
+	// events (the latter two nonzero only for sharded workloads).
+	SimEvents     int64 `json:"sim_events"`
+	SimWindows    int64 `json:"sim_windows"`
+	SimCrossShard int64 `json:"sim_cross_shard"`
 }
 
 // Snapshot returns the current counters.
 func (s *Server) Snapshot() Stats {
+	s.shardMu.Lock()
+	inUse := s.shardInUse
+	s.shardMu.Unlock()
 	return Stats{
+		ShardBudget:       s.opts.ShardBudget,
+		ShardInUse:        inUse,
+		ShardDegraded:     s.ctr.shardDegraded.Load(),
+		SimEvents:         s.ctr.simEvents.Load(),
+		SimWindows:        s.ctr.simWindows.Load(),
+		SimCrossShard:     s.ctr.simCrossShard.Load(),
 		Admitted:          s.ctr.admitted.Load(),
 		Deduped:           s.ctr.deduped.Load(),
 		CacheHits:         s.ctr.cacheHits.Load(),

@@ -32,6 +32,9 @@ const (
 	maxNameLen    = 128      // workload/experiment name length
 	maxTenantLen  = 64       // tenant identifier length
 	defaultTenant = "anon"
+	// MaxKernelShards caps the per-job kernel_shards request. The knob is
+	// physical only, so the cap bounds host cost, never results.
+	MaxKernelShards = 64
 )
 
 // JobSpec is the submission wire format. Exactly one of Workload or
@@ -43,6 +46,16 @@ type JobSpec struct {
 	Workload   string            `json:"workload,omitempty"`
 	Experiment string            `json:"experiment,omitempty"`
 	Flags      map[string]string `json:"flags,omitempty"`
+
+	// KernelShards asks the job's kernel to execute on up to this many
+	// host workers (see workloads.Config.KernelShards). It is a hosting
+	// knob with no effect on results, so it is excluded from the result
+	// cache key, and the server may grant fewer workers than requested
+	// when the shared shard budget is exhausted (Options.ShardBudget) —
+	// the job degrades toward serial rather than queueing behind budget.
+	// Experiment jobs accept but ignore it: machine simulations run the
+	// serial plan (machine.PartitionPlan.Buildable).
+	KernelShards int `json:"kernel_shards,omitempty"`
 }
 
 // APIError is a typed request rejection: an HTTP status, a stable
@@ -97,6 +110,9 @@ func ParseJobSpec(body []byte) (*JobSpec, *APIError) {
 	if len(spec.Flags) > maxFlags {
 		return nil, badRequest("bad_spec", "more than %d flags", maxFlags)
 	}
+	if spec.KernelShards < 0 || spec.KernelShards > MaxKernelShards {
+		return nil, badRequest("bad_spec", "kernel_shards %d outside 0..%d", spec.KernelShards, MaxKernelShards)
+	}
 	for k, v := range spec.Flags {
 		if k == "" || len(k) > maxFlagName {
 			return nil, badRequest("bad_flag", "flag name %q outside 1..%d bytes", k, maxFlagName)
@@ -145,6 +161,10 @@ func resolveWorkload(spec *JobSpec, r workloads.Runner) (task, *APIError) {
 			return task{}, err
 		}
 	}
+	// KernelShards lands in the Config but — like Ctx — stays out of the
+	// cache key below: it shapes how the run is hosted, not what it
+	// computes, and sharded runs are byte-identical to serial ones.
+	cfg.KernelShards = spec.KernelShards
 	t := task{kind: "workload", name: r.Name(), runner: r, cfg: cfg}
 	t.key = workloadKey(r, cfg, faultStr, chaosStr)
 	return t, nil

@@ -60,6 +60,16 @@ type Options struct {
 	RetryMax    int           // retries for transient failures (default 3)
 	RetryBase   time.Duration // backoff base, doubled per attempt (default 25ms)
 
+	// ShardBudget bounds the extra kernel-shard workers live across the
+	// whole pool (default 2×Workers; <0 disables sharding entirely).
+	// Every running job implicitly owns one worker; a job submitted with
+	// kernel_shards > 1 draws its additional shards-1 workers from this
+	// budget at start and returns them at finish. When the budget cannot
+	// cover the request the job runs with whatever is available — down to
+	// serial — rather than waiting: kernel shards are physical
+	// parallelism only, so degrading changes wall-clock, never results.
+	ShardBudget int
+
 	// Lookup resolves a workload name; defaults to workloads.Get. Tests
 	// substitute fake runners here to script failures, panics, and
 	// latency without touching the registries.
@@ -100,6 +110,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBase <= 0 {
 		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.ShardBudget == 0 {
+		o.ShardBudget = 2 * o.Workers
+	} else if o.ShardBudget < 0 {
+		o.ShardBudget = 0
 	}
 	if o.Lookup == nil {
 		o.Lookup = workloads.Get
@@ -148,6 +163,10 @@ type counters struct {
 	canceled          atomic.Int64
 	panics            atomic.Int64
 	retries           atomic.Int64
+	shardDegraded     atomic.Int64 // jobs granted fewer shard workers than requested
+	simEvents         atomic.Int64 // kernel events executed by completed workload runs
+	simWindows        atomic.Int64 // conservative windows executed by sharded runs
+	simCrossShard     atomic.Int64 // events staged across shard boundaries
 }
 
 // Server is the job service: admission control in front of a bounded
@@ -174,7 +193,43 @@ type Server struct {
 	jobs   map[string]*job
 	active map[string]*job // content key → live job, for single-flight dedup
 
+	// shardMu guards shardInUse, the extra shard workers currently drawn
+	// from Options.ShardBudget.
+	shardMu    sync.Mutex
+	shardInUse int
+
 	workerWG sync.WaitGroup
+}
+
+// acquireShards grants a job as much of its kernel-shard request as the
+// budget can cover right now and returns the effective worker count
+// (≥ 1). It never blocks: shards are physical parallelism only, so a
+// job short on budget degrades toward serial instead of waiting.
+func (s *Server) acquireShards(want int) int {
+	if want <= 1 {
+		return 1
+	}
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	extra := want - 1
+	if avail := s.opts.ShardBudget - s.shardInUse; extra > avail {
+		extra = avail
+	}
+	if extra < 0 {
+		extra = 0
+	}
+	s.shardInUse += extra
+	return 1 + extra
+}
+
+// releaseShards returns a job's extra shard workers to the budget.
+func (s *Server) releaseShards(got int) {
+	if got <= 1 {
+		return
+	}
+	s.shardMu.Lock()
+	s.shardInUse -= got - 1
+	s.shardMu.Unlock()
 }
 
 // New builds a Server and starts its worker pool.
@@ -400,10 +455,21 @@ func (s *Server) execute(ctx context.Context, j *job) (body []byte, err error) {
 	case "workload":
 		cfg := j.task.cfg
 		cfg.Ctx = ctx
+		if cfg.KernelShards > 1 {
+			got := s.acquireShards(cfg.KernelShards)
+			defer s.releaseShards(got)
+			if got < cfg.KernelShards {
+				s.ctr.shardDegraded.Add(1)
+			}
+			cfg.KernelShards = got
+		}
 		rep, err := j.task.runner.Run(cfg)
 		if err != nil {
 			return nil, err
 		}
+		s.ctr.simEvents.Add(rep.Kernel.Events)
+		s.ctr.simWindows.Add(rep.Kernel.Windows)
+		s.ctr.simCrossShard.Add(rep.Kernel.CrossShard)
 		return encodeBody(rep)
 	case "experiment":
 		r, err := j.task.exp.Run(ctx)

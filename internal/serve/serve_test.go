@@ -532,3 +532,64 @@ func TestDrainMidSoak(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestKernelShardsHostingKnob pins the serving contract of the
+// parallel-kernel knob end to end: kernel_shards is validated at parse
+// time, excluded from the content key (a sharded resubmission of a
+// completed run is a cache hit), degraded to the available shard budget
+// rather than queued, and reported through the shard and sim counters.
+func TestKernelShardsHostingKnob(t *testing.T) {
+	for _, bad := range []string{
+		`{"workload":"pring","kernel_shards":-1}`,
+		`{"workload":"pring","kernel_shards":65}`,
+	} {
+		if _, apiErr := ParseJobSpec([]byte(bad)); apiErr == nil || apiErr.Code != "bad_spec" {
+			t.Fatalf("%s: want bad_spec rejection, got %+v", bad, apiErr)
+		}
+	}
+	parsed, apiErr := ParseJobSpec([]byte(`{"workload":"pring","kernel_shards":4}`))
+	if apiErr != nil || parsed.KernelShards != 4 {
+		t.Fatalf("parse: shards=%d err=%+v", parsed.KernelShards, apiErr)
+	}
+
+	s := New(Options{Workers: 1, ShardBudget: 2})
+	defer s.Drain(10 * time.Second)
+	flags := map[string]string{"dim": "3", "rows": "20", "iters": "2"}
+
+	// A sharded run asking for more workers than the budget holds: it
+	// must run anyway (degraded), and the sharded pring workload must
+	// land its window/cross-shard work in the aggregate counters.
+	j1, fresh, apiErr := s.Submit(&JobSpec{Workload: "pring", Flags: flags, KernelShards: 8})
+	if apiErr != nil || !fresh {
+		t.Fatalf("sharded submit: fresh=%v err=%+v", fresh, apiErr)
+	}
+	if st := waitTerminal(t, s, j1.id); st.State != StateDone {
+		t.Fatalf("sharded job = %s (err %q), want done", st.State, st.Error)
+	}
+	snap := s.Snapshot()
+	if snap.ShardDegraded != 1 {
+		t.Fatalf("shard_degraded = %d, want 1 (asked 8, budget %d)", snap.ShardDegraded, snap.ShardBudget)
+	}
+	if snap.ShardInUse != 0 {
+		t.Fatalf("shard_in_use = %d after finish, want 0", snap.ShardInUse)
+	}
+	if snap.SimEvents <= 0 || snap.SimWindows <= 0 || snap.SimCrossShard <= 0 {
+		t.Fatalf("sim counters not accumulated: %+v", snap)
+	}
+
+	// Same workload and flags without kernel_shards: the knob is not part
+	// of the content key, so this is a cache hit with the same bytes.
+	j2, fresh, apiErr := s.Submit(&JobSpec{Workload: "pring", Flags: flags})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if fresh {
+		t.Fatal("serial resubmission should hit the cache: kernel_shards must not be part of the key")
+	}
+	if st := s.status(j2); st.State != StateDone || !st.Cached {
+		t.Fatalf("expected a cache-hit job, got %+v", st)
+	}
+	if string(j2.body) != string(j1.body) {
+		t.Fatalf("serial cache body differs from sharded run:\n%s\n---\n%s", j2.body, j1.body)
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // event is one future-time queue entry: a kernel callback (fn) or a
 // process to resume (proc). Events with equal times fire in the order
 // they were scheduled (seq breaks ties), which keeps the simulation
@@ -14,23 +12,59 @@ type event struct {
 	proc *Proc
 }
 
+// eventBefore is the queue's total order: time, then scheduling sequence.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap ordered by eventBefore. The sift
+// routines are the classic container/heap up/down specialised to the
+// concrete element type: heap operations are the kernel's hottest path,
+// and the interface-based container/heap costs a dynamic dispatch per
+// comparison plus an allocation-prone interface{} boxing per push/pop.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// hpush appends e and sifts it up. Equivalent to heap.Push.
+func (h *eventHeap) hpush(e *event) {
+	s := append(*h, e)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !eventBefore(s[j], s[i]) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// hpop removes and returns the minimum. Equivalent to heap.Pop.
+func (h *eventHeap) hpop() *event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && eventBefore(s[j2], s[j]) {
+			j = j2
+		}
+		if !eventBefore(s[j], s[i]) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n]
+	s[n] = nil
+	*h = s[:n]
 	return e
 }
 
@@ -86,18 +120,18 @@ func (q *calendarQueue) push(e *event) {
 			// Queue was empty: drag the window so e lands in the wheel.
 			q.start = e.at
 			q.wheelEnd = e.at.Add(wheelSpan)
-			heap.Push(&q.buckets[q.cur], e)
+			q.buckets[q.cur].hpush(e)
 			q.inWheel++
 			return
 		}
-		heap.Push(&q.overflow, e)
+		q.overflow.hpush(e)
 		return
 	}
 	off := int64(e.at-q.start) >> bucketShift
 	if off < 0 {
 		off = 0
 	}
-	heap.Push(&q.buckets[(q.cur+int(off))&bucketMask], e)
+	q.buckets[(q.cur+int(off))&bucketMask].hpush(e)
 	q.inWheel++
 }
 
@@ -130,12 +164,12 @@ func (q *calendarQueue) peek() *event {
 // into their buckets.
 func (q *calendarQueue) migrate() {
 	for len(q.overflow) > 0 && q.overflow[0].at < q.wheelEnd {
-		e := heap.Pop(&q.overflow).(*event)
+		e := q.overflow.hpop()
 		off := int64(e.at-q.start) >> bucketShift
 		if off < 0 {
 			off = 0
 		}
-		heap.Push(&q.buckets[(q.cur+int(off))&bucketMask], e)
+		q.buckets[(q.cur+int(off))&bucketMask].hpush(e)
 		q.inWheel++
 	}
 }
@@ -143,7 +177,7 @@ func (q *calendarQueue) migrate() {
 // popCurrent removes and returns the cursor bucket's earliest event. It
 // must follow a peek (or dueNow) that proved the bucket non-empty.
 func (q *calendarQueue) popCurrent() *event {
-	e := heap.Pop(&q.buckets[q.cur]).(*event)
+	e := q.buckets[q.cur].hpop()
 	q.inWheel--
 	q.size--
 	return e

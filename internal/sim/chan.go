@@ -52,13 +52,27 @@ func dropDead(q []*waiter) []*waiter {
 	return q
 }
 
+// takeReceiver pops the first receiver still able to accept a value:
+// not killed, and not a Select waiter that already completed a handshake
+// on another channel this instant (its residual registrations linger
+// until the process resumes and cleans them up; handing it a second
+// value would overwrite the first).
+func (c *Chan) takeReceiver() *waiter {
+	for len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		if w.p.dead || w.ok {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
 // Send delivers v on the channel, blocking p until a receiver (or buffer
 // space) accepts it.
 func (c *Chan) Send(p *Proc, v interface{}) {
-	c.recvq = dropDead(c.recvq)
-	if len(c.recvq) > 0 {
-		w := c.recvq[0]
-		c.recvq = c.recvq[1:]
+	if w := c.takeReceiver(); w != nil {
 		w.val = v
 		w.ok = true
 		w.ch = c
@@ -111,6 +125,22 @@ func (c *Chan) Recv(p *Proc) interface{} {
 	v := w.val
 	w.val = nil
 	return v
+}
+
+// push delivers v from kernel context without a sending process: a
+// waiting receiver takes it directly, otherwise it lands in the buffer —
+// beyond the nominal capacity if need be, since there is no process to
+// block. Cross-shard channels use it to materialise staged arrivals at
+// their delivery instant.
+func (c *Chan) push(v interface{}) {
+	if w := c.takeReceiver(); w != nil {
+		w.val = v
+		w.ok = true
+		w.ch = c
+		w.p.unpark()
+		return
+	}
+	c.buf = append(c.buf, v)
 }
 
 // TryRecv returns a value if one is immediately available.

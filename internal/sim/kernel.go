@@ -39,6 +39,7 @@ type Kernel struct {
 	pool []*event      // free list of future-time event records
 
 	limit        Time        // horizon of the active Run (< 0: none)
+	limitExcl    bool        // window mode: the limit is exclusive (events at limit stay queued)
 	stopped      bool        //
 	pendingPanic interface{} // process-body panic awaiting re-delivery on the kernel goroutine
 
@@ -216,19 +217,27 @@ func (k *Kernel) popLane() laneSlot {
 	return s
 }
 
-// newEvent takes a future-time event record off the free list.
+// newEvent takes a future-time event record off the free list. Refills
+// come in slabs: records allocated together stay contiguous in memory,
+// so the heap sift's pointer chases touch far fewer cache lines than
+// they would over records interleaved with unrelated allocations.
 func (k *Kernel) newEvent(t Time, fn func(), p *Proc) *event {
 	k.seq++
-	var e *event
-	if n := len(k.pool); n > 0 {
-		e = k.pool[n-1]
-		k.pool = k.pool[:n-1]
-	} else {
-		e = new(event)
+	if len(k.pool) == 0 {
+		slab := make([]event, eventSlabSize)
+		for i := range slab {
+			k.pool = append(k.pool, &slab[i])
+		}
 	}
+	n := len(k.pool) - 1
+	e := k.pool[n]
+	k.pool = k.pool[:n]
 	e.at, e.seq, e.fn, e.proc = t, k.seq, fn, p
 	return e
 }
+
+// eventSlabSize is the free-list refill granularity.
+const eventSlabSize = 256
 
 // freeEvent returns an executed record to the free list.
 func (k *Kernel) freeEvent(e *event) {
@@ -313,6 +322,7 @@ func (k *Kernel) Run(horizon Duration) Time {
 		}
 	}()
 	k.limit = -1
+	k.limitExcl = false
 	if horizon > 0 {
 		k.limit = k.now.Add(horizon)
 	}
@@ -359,6 +369,39 @@ func (k *Kernel) Run(horizon Duration) Time {
 // first; the lane then drains FIFO. This reproduces exactly the global
 // (time, sequence) order of a single priority queue.
 func (k *Kernel) dispatch(self *Proc) bool {
+	if self == nil {
+		// Kernel goroutine: callback panics propagate to Run, whose
+		// recover tears the simulation down before re-panicking.
+		return k.dispatchLoop(nil)
+	}
+	// Process goroutine: a panic in a kernel callback must not unwind the
+	// innocent process's stack, so the loop runs behind a panic fence.
+	// The fence is one deferred recover per slot tenure — not per
+	// callback — keeping the per-event path free of defer machinery.
+	handed, ok := k.guardedLoop(self)
+	if ok {
+		return handed
+	}
+	// A callback panicked: it is re-armed in pendingPanic for delivery on
+	// the kernel goroutine, which now takes the slot back.
+	k.yielded <- struct{}{}
+	return false
+}
+
+// guardedLoop runs the dispatch loop under a single recover. ok reports
+// a normal return; on a callback panic the value is stashed in
+// pendingPanic and ok is false.
+func (k *Kernel) guardedLoop(self *Proc) (handed, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.pendingPanic = r
+			ok = false
+		}
+	}()
+	return k.dispatchLoop(self), true
+}
+
+func (k *Kernel) dispatchLoop(self *Proc) bool {
 	for {
 		if k.cancelCh != nil && !k.tearing && k.events&cancelCheckMask == 0 {
 			select {
@@ -408,7 +451,7 @@ func (k *Kernel) dispatch(self *Proc) bool {
 				k.freeEvent(e)
 				continue
 			}
-			if k.limit >= 0 && e.at > k.limit && !k.tearing {
+			if k.limit >= 0 && !k.tearing && (e.at > k.limit || (k.limitExcl && e.at >= k.limit)) {
 				return k.endDispatch(self)
 			}
 			k.now = e.at
@@ -435,14 +478,7 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			<-k.yielded
 			continue
 		}
-		if self == nil {
-			fn()
-			continue
-		}
-		if !k.guardedFn(fn) {
-			k.yielded <- struct{}{}
-			return false
-		}
+		fn()
 	}
 }
 
@@ -455,17 +491,46 @@ func (k *Kernel) endDispatch(self *Proc) bool {
 	return false
 }
 
-// guardedFn runs a kernel callback on a process goroutine. A panic in the
-// callback must not unwind the innocent process's stack, so it is caught
-// and re-armed for delivery on the kernel goroutine (Run re-panics).
-func (k *Kernel) guardedFn(fn func()) (ok bool) {
+// nextEventTime reports the earliest pending instant, or ok=false when
+// the queue is empty. The shard scheduler uses it to size conservative
+// time windows.
+func (k *Kernel) nextEventTime() (Time, bool) {
+	if k.laneLen > 0 {
+		return k.now, true
+	}
+	if e := k.q.peek(); e != nil {
+		return e.at, true
+	}
+	return 0, false
+}
+
+// runWindow executes every pending event strictly before `before` and
+// returns with the clock at the last executed event. Unlike Run it does
+// not panic on a local drain with blocked processes — under a ShardGroup
+// a shard's processes may legitimately be waiting for cross-shard
+// traffic that only arrives at the next window barrier — and it returns
+// a process-body panic value instead of re-panicking, so the shard
+// scheduler can tear every shard down before propagating.
+func (k *Kernel) runWindow(before Time) (r interface{}) {
 	defer func() {
-		if r := recover(); r != nil {
-			k.pendingPanic = r
+		if v := recover(); v != nil {
+			// A panic escaping dispatch itself (bad schedule, corrupted
+			// queue): surface it like a process panic so the group can
+			// sequence the teardown.
+			r = v
 		}
 	}()
-	fn()
-	return true
+	k.limit = before
+	k.limitExcl = true
+	k.stopped = false
+	k.dispatch(nil)
+	k.limit = -1
+	k.limitExcl = false
+	if p := k.pendingPanic; p != nil {
+		k.pendingPanic = nil
+		return p
+	}
+	return nil
 }
 
 // Idle reports whether no events are pending and no processes are live.
@@ -554,9 +619,13 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 					return
 				}
 			}
-			// The exiting goroutine keeps dispatching: the slot moves
-			// straight to the next runnable process.
-			k.dispatch(p)
+			// Hand the slot back to the kernel goroutine (always parked
+			// on yielded while any process runs). Exits are rare, so the
+			// extra rendezvous is noise — whereas if the exiting
+			// goroutine kept dispatching, every subsequent kernel
+			// callback would pay the guardedFn panic fence until another
+			// process took the slot.
+			k.yielded <- struct{}{}
 		}()
 		if p.dead {
 			panic(killed{p.name}) // killed before it ever ran

@@ -1,0 +1,597 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// ShardGroup is a conservative parallel discrete-event scheduler: it
+// partitions one simulation into shards — each an ordinary Kernel with
+// its own calendar wheel and same-instant lane — and advances them in
+// synchronized time windows bounded by the minimum cross-shard latency
+// (the lookahead). Within a window every shard executes independently,
+// optionally on parallel worker goroutines; events crossing shards are
+// staged into per-edge outboxes and merged deterministically at the
+// window barrier.
+//
+// The central contract is determinism by construction: the *logical*
+// partition (how many shards, which processes live where, which XChan
+// edges exist) fixes the result, and the *physical* worker count only
+// fixes how fast the host gets there. A group run with SetWorkers(1)
+// and SetWorkers(8) produces byte-identical results and byte-identical
+// Stats, because
+//
+//   - each shard is itself a deterministic serial kernel;
+//   - a cross-shard event staged at send time t arrives no earlier than
+//     t + latency, and every edge latency is at least the group
+//     lookahead L. A window runs events in [T, T+L) where T is the
+//     earliest pending instant across shards, so arrivals (≥ T+L) are
+//     always beyond the window being executed — no shard can ever see a
+//     message from "the past";
+//   - staged events are merged at the barrier in a fixed order:
+//     ascending timestamp, ties broken by edge registration order and
+//     then send order within the edge.
+//
+// Processes on different shards must not share mutable Go state: the
+// XChan edges are the only sanctioned cross-shard interaction. The
+// serial kernel's "exactly one process runs at any instant" guarantee
+// holds per shard, not across the group.
+//
+// The zero value is not usable; call NewShardGroup.
+type ShardGroup struct {
+	shards  []*Kernel
+	workers int
+	edges   []*XChan
+
+	// lookahead is the window width: the minimum latency over every
+	// registered edge, or the explicit SetLookahead floor when no edge
+	// carries less. Zero with no edges means windows are unbounded (the
+	// shards cannot interact, so each may run to completion).
+	lookahead Duration
+
+	ctx      context.Context
+	canceled bool
+
+	// Deterministic run accounting (see Stats).
+	windows    int64
+	crossShard int64
+	stall      []Duration // per-shard simulated barrier idle time
+	staged     []int64    // per-shard cross-shard sends originated
+
+	winObs WindowObserver
+
+	// Worker pool state, live only during Run.
+	feed    chan windowJob
+	results chan windowResult
+	pooled  int // goroutines started
+
+	// Scratch buffers reused across windows to keep the barrier
+	// allocation-free in steady state.
+	activeScratch  []int
+	arrivalScratch []arrival
+}
+
+// windowJob asks a worker to run one shard up to (exclusive) wEnd.
+type windowJob struct {
+	shard int
+	wEnd  Time
+}
+
+// windowResult is one shard's window outcome; panicked carries a
+// process-body panic value to re-deliver after group teardown.
+type windowResult struct {
+	shard    int
+	panicked interface{}
+}
+
+// WindowObserver receives barrier-time callbacks from a ShardGroup run.
+// Both fire on the group's coordinating goroutine, never concurrently,
+// and must not block. Install with SetWindowObserver.
+type WindowObserver interface {
+	// Window fires after each window barrier with the window's ordinal
+	// (from 1) and its exclusive end instant.
+	Window(n int64, end Time)
+	// Staged fires once per cross-shard event as it is merged into its
+	// destination shard, in the deterministic merge order.
+	Staged(src, dst int, at Time)
+}
+
+// NewShardGroup returns a group of n empty shards at time zero.
+func NewShardGroup(n int) *ShardGroup {
+	if n < 1 {
+		panic("sim: shard group needs at least one shard")
+	}
+	g := &ShardGroup{
+		shards:  make([]*Kernel, n),
+		workers: 1,
+		stall:   make([]Duration, n),
+		staged:  make([]int64, n),
+	}
+	for i := range g.shards {
+		g.shards[i] = NewKernel()
+	}
+	return g
+}
+
+// NewShardGroupCtx returns a group bound to ctx: cancellation tears the
+// whole simulation down cooperatively — every shard, every process —
+// and Err reports why.
+func NewShardGroupCtx(ctx context.Context, n int) *ShardGroup {
+	g := NewShardGroup(n)
+	g.BindContext(ctx)
+	return g
+}
+
+// BindContext attaches a cancellation context to every shard. Each
+// shard's dispatch loop polls it at its own event boundaries, and the
+// group checks it at every window barrier. Binding after Run has
+// started is not supported.
+func (g *ShardGroup) BindContext(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	g.ctx = ctx
+	for _, k := range g.shards {
+		k.BindContext(ctx)
+	}
+}
+
+// Shard returns shard i's kernel. Build each shard's processes,
+// channels, and resources against it exactly as for a serial kernel.
+func (g *ShardGroup) Shard(i int) *Kernel { return g.shards[i] }
+
+// Shards reports the logical shard count.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// SetWorkers sets the physical parallelism: how many goroutines execute
+// shard windows concurrently. It is clamped to [1, Shards()] and does
+// not affect results — only wall-clock speed.
+func (g *ShardGroup) SetWorkers(p int) {
+	if p < 1 {
+		p = 1
+	}
+	if p > len(g.shards) {
+		p = len(g.shards)
+	}
+	g.workers = p
+}
+
+// Workers reports the configured physical parallelism.
+func (g *ShardGroup) Workers() int { return g.workers }
+
+// SetLookahead installs an explicit lookahead floor for groups whose
+// minimum cross-shard latency is known to the caller (for example from
+// the link DMA-startup constant) before any edge exists. The effective
+// window width remains the minimum over this floor and every edge
+// latency.
+func (g *ShardGroup) SetLookahead(d Duration) {
+	if d <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	if g.lookahead == 0 || d < g.lookahead {
+		g.lookahead = d
+	}
+}
+
+// Lookahead reports the effective window width (0 = unbounded).
+func (g *ShardGroup) Lookahead() Duration { return g.lookahead }
+
+// SetWindowObserver installs a barrier observer (nil removes it).
+func (g *ShardGroup) SetWindowObserver(o WindowObserver) { g.winObs = o }
+
+// Canceled reports whether the run was torn down by the bound context.
+func (g *ShardGroup) Canceled() bool { return g.canceled }
+
+// Err returns nil for a normal run, or the bound context's error when
+// the run was canceled mid-flight.
+func (g *ShardGroup) Err() error {
+	if !g.canceled {
+		return nil
+	}
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return context.Canceled
+}
+
+// Now reports the latest shard clock: the group's notion of current
+// simulated time.
+func (g *ShardGroup) Now() Time {
+	var now Time
+	for _, k := range g.shards {
+		if k.now > now {
+			now = k.now
+		}
+	}
+	return now
+}
+
+// Connect registers a directed cross-shard edge from shard src to shard
+// dst with the given minimum delivery latency, which must be positive:
+// it is the physical transfer time that makes conservative windows
+// possible (a link DMA startup plus wire time, a ring hop). capacity
+// sizes the destination-side delivery queue exactly like NewChan.
+// src == dst is allowed — the edge degenerates to a local delayed
+// channel — so partition-agnostic component code can connect first and
+// place later.
+func (g *ShardGroup) Connect(src, dst int, name string, latency Duration, capacity int) *XChan {
+	if src < 0 || src >= len(g.shards) || dst < 0 || dst >= len(g.shards) {
+		panic(fmt.Sprintf("sim: xchan %s connects shard %d→%d outside group of %d", name, src, dst, len(g.shards)))
+	}
+	if latency <= 0 {
+		panic("sim: xchan " + name + " needs a positive latency (it is the lookahead)")
+	}
+	x := &XChan{
+		g: g, src: src, dst: dst, latency: latency,
+		inner: NewChan(g.shards[dst], name, capacity),
+	}
+	g.edges = append(g.edges, x)
+	if src != dst && (g.lookahead == 0 || latency < g.lookahead) {
+		g.lookahead = latency
+	}
+	return x
+}
+
+// nextInstant scans the shards for the earliest pending event.
+func (g *ShardGroup) nextInstant() (Time, bool) {
+	var min Time
+	any := false
+	for _, k := range g.shards {
+		if t, ok := k.nextEventTime(); ok && (!any || t < min) {
+			min, any = t, true
+		}
+	}
+	return min, any
+}
+
+// ctxFired reports whether the bound context has been canceled.
+func (g *ShardGroup) ctxFired() bool {
+	if g.ctx == nil {
+		return false
+	}
+	select {
+	case <-g.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// teardownAll force-unwinds every shard, one at a time on the calling
+// goroutine, so no process goroutine outlives an abnormal run.
+func (g *ShardGroup) teardownAll() {
+	for _, k := range g.shards {
+		k.teardown()
+	}
+}
+
+// Run executes the group until every shard drains, the horizon passes,
+// or the bound context fires. A zero horizon means no limit. It returns
+// the group clock: the time of the latest executed event, or the
+// horizon when events remain beyond it.
+//
+// Run panics if every queue drains while non-daemon processes are still
+// blocked somewhere in the group — with no pending events and no staged
+// cross-shard traffic, nothing can ever wake them: a deadlock in the
+// simulated system.
+func (g *ShardGroup) Run(horizon Duration) Time {
+	limit := Time(-1)
+	if horizon > 0 {
+		limit = g.Now().Add(horizon)
+	}
+	if g.workers > 1 {
+		g.startPool()
+		defer g.stopPool()
+	}
+	for {
+		if g.ctxFired() {
+			g.canceled = true
+			g.teardownAll()
+			return g.Now()
+		}
+		nextT, any := g.nextInstant()
+		if !any {
+			procs := 0
+			for _, k := range g.shards {
+				procs += k.procs
+			}
+			if procs > 0 {
+				panicDeadlock(g.Now(), procs)
+			}
+			return g.Now()
+		}
+		if limit >= 0 && nextT > limit {
+			// Events remain beyond the horizon: advance every clock to it.
+			for _, k := range g.shards {
+				if k.now < limit {
+					k.now = limit
+				}
+			}
+			return limit
+		}
+		// Window end: exclusive. With no cross-shard edges the shards
+		// cannot interact, so the window is unbounded (or horizon-bound).
+		wEnd := maxTime
+		if g.lookahead > 0 {
+			wEnd = nextT.Add(g.lookahead)
+		}
+		if limit >= 0 && wEnd > limit+1 {
+			wEnd = limit + 1 // events at exactly the horizon still run
+		}
+		if !g.runShardWindows(wEnd) {
+			return g.Now() // canceled or panicked (panic re-raised there)
+		}
+		g.windows++
+		g.mergeStaged()
+		if g.winObs != nil {
+			g.winObs.Window(g.windows, wEnd)
+		}
+	}
+}
+
+// maxTime is the unbounded window end.
+const maxTime = Time(1<<63 - 1)
+
+// runShardWindows executes one window on every shard that has work due
+// before wEnd, in parallel when workers allow, and accounts barrier
+// stall. It returns false when the run must stop (context cancellation
+// observed by a shard); a process panic is re-raised after a full
+// teardown so no goroutine is stranded.
+func (g *ShardGroup) runShardWindows(wEnd Time) bool {
+	active := g.activeShards(wEnd)
+	var panicked interface{}
+	panicShard := -1
+	if g.workers > 1 && len(active) > 1 {
+		for _, i := range active {
+			g.feed <- windowJob{shard: i, wEnd: wEnd}
+		}
+		for range active {
+			r := <-g.results
+			if r.panicked != nil && (panicShard < 0 || r.shard < panicShard) {
+				panicked, panicShard = r.panicked, r.shard
+			}
+		}
+	} else {
+		for _, i := range active {
+			if r := g.shards[i].runWindow(wEnd); r != nil && panicShard < 0 {
+				panicked, panicShard = r, i
+			}
+		}
+	}
+	if panicked != nil {
+		g.teardownAll()
+		panic(panicked)
+	}
+	for _, i := range active {
+		k := g.shards[i]
+		if k.ctxCanceled {
+			g.canceled = true
+			g.teardownAll()
+			return false
+		}
+		if wEnd != maxTime && k.now < wEnd {
+			g.stall[i] += Duration(wEnd.Sub(k.now))
+		}
+	}
+	return true
+}
+
+// activeShards lists the shards with an event due before wEnd, in shard
+// order. The scratch slice is reused across windows.
+func (g *ShardGroup) activeShards(wEnd Time) []int {
+	active := g.activeScratch[:0]
+	for i, k := range g.shards {
+		if t, ok := k.nextEventTime(); ok && t < wEnd {
+			active = append(active, i)
+		}
+	}
+	g.activeScratch = active
+	return active
+}
+
+// startPool launches the window worker goroutines. Results are buffered
+// to the shard count so a worker never blocks publishing, which keeps
+// the feed loop deadlock-free regardless of scheduling order.
+func (g *ShardGroup) startPool() {
+	feed := make(chan windowJob, len(g.shards))
+	results := make(chan windowResult, len(g.shards))
+	g.feed, g.results = feed, results
+	g.pooled = g.workers
+	shards := g.shards
+	for w := 0; w < g.workers; w++ {
+		go func() {
+			for job := range feed {
+				results <- windowResult{shard: job.shard, panicked: shards[job.shard].runWindow(job.wEnd)}
+			}
+		}()
+	}
+}
+
+func (g *ShardGroup) stopPool() {
+	if g.feed != nil {
+		close(g.feed)
+		g.feed = nil
+		g.results = nil
+		g.pooled = 0
+	}
+}
+
+// mergeStaged drains every edge outbox into its destination shard in
+// the deterministic merge order: ascending delivery timestamp, ties
+// broken by edge registration order and then send order within the
+// edge (the sort is stable and outboxes are visited in registration
+// order). Arrival timestamps are provably at or beyond every window the
+// shards have executed, so insertion never schedules into a shard's
+// past.
+func (g *ShardGroup) mergeStaged() {
+	arrivals := g.arrivalScratch[:0]
+	for _, x := range g.edges {
+		for _, m := range x.staged {
+			arrivals = append(arrivals, arrival{x: x, at: m.at, v: m.v})
+		}
+		g.staged[x.src] += int64(len(x.staged))
+		g.crossShard += int64(len(x.staged))
+		for i := range x.staged {
+			x.staged[i].v = nil // release references
+		}
+		x.staged = x.staged[:0]
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+	for _, a := range arrivals {
+		x, v := a.x, a.v
+		dst := g.shards[x.dst]
+		dst.atFuture(a.at, func() { x.inner.push(v) }, nil)
+		if g.winObs != nil {
+			g.winObs.Staged(x.src, x.dst, a.at)
+		}
+	}
+	for i := range arrivals {
+		arrivals[i].v = nil
+	}
+	g.arrivalScratch = arrivals[:0]
+}
+
+// arrival is one staged cross-shard event awaiting barrier merge.
+type arrival struct {
+	x  *XChan
+	at Time
+	v  interface{}
+}
+
+// Stats snapshots the whole group: sums of the per-shard execution
+// counters, the union of named counters, every shard's resources in
+// shard order, and the per-shard summaries. MaxQueue aggregates as the
+// maximum over shards — each shard's high-water mark is deterministic,
+// and no single queue ever held more. Every field is independent of the
+// worker count.
+func (g *ShardGroup) Stats() Stats {
+	agg := Stats{
+		Now:          g.Now(),
+		Windows:      g.windows,
+		CrossShard:   g.crossShard,
+		BarrierStall: g.totalStall(),
+	}
+	counters := map[string]int64{}
+	for i, k := range g.shards {
+		s := k.Stats()
+		agg.Events += s.Events
+		agg.Spawned += s.Spawned
+		agg.Finished += s.Finished
+		agg.Parks += s.Parks
+		agg.Unparks += s.Unparks
+		agg.LiveProcs += s.LiveProcs
+		if s.MaxQueue > agg.MaxQueue {
+			agg.MaxQueue = s.MaxQueue
+		}
+		for name, v := range s.Counters {
+			counters[name] += v
+		}
+		agg.Resources = append(agg.Resources, s.Resources...)
+		agg.Shards = append(agg.Shards, ShardStats{
+			Shard:    i,
+			Events:   s.Events,
+			Spawned:  s.Spawned,
+			Parks:    s.Parks,
+			Unparks:  s.Unparks,
+			MaxQueue: s.MaxQueue,
+			Staged:   g.staged[i],
+			Stall:    g.stall[i],
+		})
+	}
+	if len(counters) > 0 {
+		agg.Counters = counters
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		agg.keys = keys
+	}
+	return agg
+}
+
+// totalStall sums the per-shard barrier idle time.
+func (g *ShardGroup) totalStall() Duration {
+	var total Duration
+	for _, d := range g.stall {
+		total += d
+	}
+	return total
+}
+
+// XChan is a directed cross-shard message channel: the only sanctioned
+// way for processes on different shards to interact. A send stages the
+// value with delivery timestamp now + latency into the edge's outbox;
+// the group merges outboxes at each window barrier and the value
+// becomes receivable on the destination shard at its delivery instant.
+// Sends never block (the latency models the transfer; senders that must
+// pace themselves wait explicitly), receives block like an ordinary
+// channel receive.
+type XChan struct {
+	g        *ShardGroup
+	src, dst int
+	latency  Duration
+	inner    *Chan
+	staged   []stagedMsg // outbox: written by src shard in-window, drained at the barrier
+	sent     int64
+}
+
+// stagedMsg is one staged cross-shard event.
+type stagedMsg struct {
+	at Time
+	v  interface{}
+}
+
+// Name returns the channel's name.
+func (x *XChan) Name() string { return x.inner.Name() }
+
+// Latency reports the edge's modelled transfer time.
+func (x *XChan) Latency() Duration { return x.latency }
+
+// Sent reports how many values have been sent on this edge.
+func (x *XChan) Sent() int64 { return x.sent }
+
+// Src and Dst report the edge's endpoints.
+func (x *XChan) Src() int { return x.src }
+func (x *XChan) Dst() int { return x.dst }
+
+// Send stages v for delivery latency from now. p must be a process of
+// the source shard; sending from any other shard would race and is a
+// programming error.
+func (x *XChan) Send(p *Proc, v interface{}) {
+	if p.k != x.g.shards[x.src] {
+		panic(fmt.Sprintf("sim: xchan %s: send from a process of the wrong shard", x.Name()))
+	}
+	x.post(v)
+}
+
+// Post stages v from source-shard kernel context (an At callback or a
+// router hook running on the source shard).
+func (x *XChan) Post(v interface{}) { x.post(v) }
+
+func (x *XChan) post(v interface{}) {
+	src := x.g.shards[x.src]
+	at := src.now.Add(x.latency)
+	x.sent++
+	if x.src == x.dst {
+		// Degenerate local edge: no staging needed, but identical timing.
+		x.inner.k.At(at, func() { x.inner.push(v) })
+		return
+	}
+	x.staged = append(x.staged, stagedMsg{at: at, v: v})
+}
+
+// Recv blocks the destination-shard process p until a value arrives.
+func (x *XChan) Recv(p *Proc) interface{} { return x.inner.Recv(p) }
+
+// TryRecv returns a delivered value if one is already queued.
+func (x *XChan) TryRecv() (interface{}, bool) { return x.inner.TryRecv() }
+
+// Ready reports whether a Recv would not block.
+func (x *XChan) Ready() bool { return x.inner.Ready() }
+
+// Inbox exposes the destination-side channel for Select constructs.
+func (x *XChan) Inbox() *Chan { return x.inner }

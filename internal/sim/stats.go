@@ -25,6 +25,26 @@ type Stats struct {
 	// else is a leaked (forever-blocked, never-killed) process.
 	LiveProcs int
 
+	// Sharded-run metrics, populated only by ShardGroup.Stats. All of
+	// them are deterministic for a fixed logical partition — independent
+	// of the worker count and of wall-clock scheduling — so sharded
+	// reports stay byte-identical across physical parallelism levels.
+	// They are omitted from JSON for plain serial kernels, keeping the
+	// serial report shape (and the pinned golden outputs) unchanged.
+
+	// Windows counts conservative synchronization windows executed.
+	Windows int64 `json:"Windows,omitempty"`
+	// CrossShard counts events staged across shard boundaries.
+	CrossShard int64 `json:"CrossShard,omitempty"`
+	// BarrierStall is the total simulated time shards spent idle before
+	// a window barrier: the window end minus the shard's clock after its
+	// last local event, summed over windows and shards. It measures how
+	// unevenly the partition loads the shards, in simulated time — not
+	// host time — so it is reproducible.
+	BarrierStall Duration `json:"BarrierStall,omitempty"`
+	// Shards holds one summary per shard of a ShardGroup run.
+	Shards []ShardStats `json:"Shards,omitempty"`
+
 	// Counters holds component-published quantities (e.g. "link.bytes",
 	// the payload bytes carried by every serial link).
 	Counters map[string]int64
@@ -38,6 +58,23 @@ type Stats struct {
 	// cover the map (hand-built or mutated snapshots), String falls back
 	// to sorting.
 	keys []string
+}
+
+// ShardStats is one shard's execution summary under a ShardGroup run.
+// Every field is deterministic for a fixed logical partition.
+type ShardStats struct {
+	Shard    int   // shard index within the group
+	Events   int64 // events executed by this shard
+	Spawned  int64 // processes started on this shard
+	Parks    int64 // blocks on this shard
+	Unparks  int64 // resumes scheduled on this shard
+	MaxQueue int   // this shard's pending-event high-water mark
+	// Staged counts cross-shard events this shard originated (sends on
+	// its outbound XChan edges).
+	Staged int64
+	// Stall is the simulated idle time this shard accumulated before
+	// window barriers (see Stats.BarrierStall).
+	Stall Duration
 }
 
 // ResourceStats is one resource's utilization snapshot.
@@ -54,6 +91,10 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "events=%d procs=%d/%d parks=%d unparks=%d maxqueue=%d",
 		s.Events, s.Finished, s.Spawned, s.Parks, s.Unparks, s.MaxQueue)
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(&b, " shards=%d windows=%d crossshard=%d stall=%v",
+			len(s.Shards), s.Windows, s.CrossShard, s.BarrierStall)
+	}
 	keys := s.keys
 	if len(keys) != len(s.Counters) {
 		keys = make([]string, 0, len(s.Counters))

@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"encoding/json"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tseries/internal/fault"
+	"tseries/internal/sim"
+)
+
+// reportBytes runs a workload and returns its report as JSON — the
+// byte-identity currency of the shard-invariance contract.
+func reportBytes(t *testing.T, name string, cfg Config) []byte {
+	t.Helper()
+	r, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s (shards=%d, seed=%d): %v", name, cfg.KernelShards, cfg.Seed, err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestWorkloadsShardInvariant is the randomized property test of the
+// parallel-kernel contract: every registered workload, at random seeds,
+// must produce a byte-identical report at shard counts {1, 2, 3,
+// NumCPU}. Machine workloads satisfy it by conservative collapse (the
+// shared-network object graph is not partitionable, so they ignore the
+// knob); pring satisfies it the strong way — a fixed logical partition
+// executed by a varying number of physical workers.
+func TestWorkloadsShardInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	counts := []int{1, 2, 3, runtime.NumCPU()}
+	for _, r := range Runners() {
+		name := r.Name()
+		for trial := 0; trial < 2; trial++ {
+			cfg := smallConfig()
+			cfg.Seed = rng.Int63n(1 << 20)
+			serial := cfg
+			serial.KernelShards = 1
+			want := reportBytes(t, name, serial)
+			for _, shards := range counts[1:] {
+				got := cfg
+				got.KernelShards = shards
+				if raw := reportBytes(t, name, got); string(raw) != string(want) {
+					t.Errorf("%s seed=%d: report at shards=%d differs from serial\n  serial: %s\n  shards: %s",
+						name, cfg.Seed, shards, want, raw)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryFaultShardInvariant pins the E17 path: a recovery run
+// with an active fault plan (bit errors forcing rollbacks) must be
+// byte-identical under the parallel kernel setting.
+func TestRecoveryFaultShardInvariant(t *testing.T) {
+	// A fault.Plan carries live RNG state, so each run gets a fresh one.
+	mkCfg := func(shards int) Config {
+		return Config{Dim: 2, Rows: 50, Phases: 3, Seed: 1,
+			Pad: 50 * sim.Millisecond, Ckpt: 0,
+			Faults:       &fault.Plan{Seed: 7, BER: 1e-6},
+			KernelShards: shards}
+	}
+	want := reportBytes(t, "recovery", mkCfg(1))
+	for _, shards := range []int{2, 4} {
+		if got := reportBytes(t, "recovery", mkCfg(shards)); string(got) != string(want) {
+			t.Errorf("recovery with faults at shards=%d differs from serial\n  serial: %s\n  shards: %s", shards, want, got)
+		}
+	}
+}
+
+// TestSoakChaosShardInvariant pins the E18 path: the chaos soak — whose
+// correctness gate is already a twin-fingerprint comparison against a
+// fault-free golden run — must hold that gate and stay byte-identical
+// under the parallel kernel setting.
+func TestSoakChaosShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak twin run is slow")
+	}
+	// A fresh chaos recipe per run: the recipe is expanded with live RNG
+	// state when the machine is built.
+	mkCfg := func(shards int) Config {
+		return Config{Dim: 3, Reps: 2, Phases: 2, Rows: 30, Seed: 1,
+			Pad:          4 * sim.Second,
+			Chaos:        &fault.Chaos{Seed: 7, Dur: 60 * sim.Second, Crashes: 1, Hangs: 1},
+			KernelShards: shards}
+	}
+	want := reportBytes(t, "soak", mkCfg(1))
+	if got := reportBytes(t, "soak", mkCfg(4)); string(got) != string(want) {
+		t.Errorf("chaos soak at shards=4 differs from serial\n  serial: %s\n  shards: %s", want, got)
+	}
+}
+
+// TestPRingWorkersScale sanity-checks that pring really exercises the
+// shard machinery: a multi-station run must execute multiple windows
+// and stage cross-shard traffic, and its per-shard stats must cover
+// every station.
+func TestPRingWorkersScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Dim = 2
+	cfg.Rows = 8
+	cfg.Iters = 3
+	cfg.KernelShards = 4
+	r, err := Get("pring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := rep.Kernel
+	if ks.Windows < 2 {
+		t.Errorf("expected multiple conservative windows, got %d", ks.Windows)
+	}
+	if ks.CrossShard == 0 {
+		t.Error("expected cross-shard traffic")
+	}
+	if len(ks.Shards) != 4 {
+		t.Errorf("expected 4 shard summaries, got %d", len(ks.Shards))
+	}
+	if rep.Bytes == 0 {
+		t.Error("ring frames must account link bytes")
+	}
+	var staged int64
+	for _, s := range ks.Shards {
+		staged += s.Staged
+	}
+	if staged != ks.CrossShard {
+		t.Errorf("per-shard staged %d != group cross-shard %d", staged, ks.CrossShard)
+	}
+}
+
+// TestPRingSeedSensitivity guards against a degenerate pring that
+// ignores its inputs: different seeds must change the computed values
+// (metrics stay clean) while identical seeds reproduce byte-identically.
+func TestPRingSeedSensitivity(t *testing.T) {
+	cfg := smallConfig()
+	a := reportBytes(t, "pring", cfg)
+	b := reportBytes(t, "pring", cfg)
+	if string(a) != string(b) {
+		t.Error("same seed must reproduce byte-identically")
+	}
+	cfg2 := cfg
+	cfg2.Seed++
+	var ra, rb Report
+	if err := json.Unmarshal(a, &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(reportBytes(t, "pring", cfg2), &rb); err != nil {
+		t.Fatal(err)
+	}
+	// The simulated timeline is seed-independent (same geometry), but
+	// the arithmetic is not — both must verify exactly.
+	if ra.Metrics["max_error"] != 0 || rb.Metrics["max_error"] != 0 {
+		t.Errorf("verification must be exact: %v vs %v", ra.Metrics["max_error"], rb.Metrics["max_error"])
+	}
+	if ra.Elapsed != rb.Elapsed {
+		t.Errorf("pring timeline should be seed-independent: %v vs %v", ra.Elapsed, rb.Elapsed)
+	}
+}

@@ -35,6 +35,25 @@ type Config struct {
 	// shapes how a run is hosted, not what it computes, so it is excluded
 	// from result-cache keys (internal/serve).
 	Ctx context.Context `json:"-"`
+
+	// KernelShards asks the workload's kernel to execute on up to this
+	// many host workers (sim.ShardGroup physical parallelism). It is a
+	// hosting knob, not a model parameter: a workload's logical shard
+	// partition is fixed by its geometry (Dim), so its Report is
+	// byte-identical at every KernelShards value — 0 and 1 both mean
+	// serial. Workloads whose object graph cannot be partitioned (the
+	// machine workloads sharing one comm.Network; see
+	// machine.PartitionPlan.Buildable) conservatively ignore it and run
+	// on one kernel. Like Ctx it is excluded from result-cache keys.
+	KernelShards int `json:"-"`
+}
+
+// Workers resolves KernelShards to an effective worker count (≥ 1).
+func (c Config) Workers() int {
+	if c.KernelShards < 1 {
+		return 1
+	}
+	return c.KernelShards
 }
 
 // Context returns the run-bounding context, never nil.

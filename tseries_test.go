@@ -105,3 +105,34 @@ func TestFaultPlanSAXPYSmoke(t *testing.T) {
 		t.Fatal("bit errors alone forced a rollback")
 	}
 }
+
+// TestParallelKernelFacade drives the conservative parallel kernel
+// through the public surface: the partition plan is pure geometry, and
+// RunWorkload reports are byte-equal at every KernelShards value.
+func TestParallelKernelFacade(t *testing.T) {
+	plan, err := PlanPartition(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards != 4 || plan.Modules != 8 || plan.Lookahead <= 0 {
+		t.Fatalf("unexpected plan: %+v", plan)
+	}
+
+	cfg := DefaultWorkloadConfig()
+	cfg.Dim, cfg.Rows, cfg.Iters = 3, 25, 2
+	serial, err := RunWorkload(context.Background(), "pring", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Kernel.Windows == 0 || len(serial.Kernel.Shards) != 8 {
+		t.Fatalf("pring should report sharded kernel stats: %+v", serial.Kernel)
+	}
+	cfg.KernelShards = 4
+	sharded, err := RunWorkload(context.Background(), "pring", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() || serial.Kernel.String() != sharded.Kernel.String() {
+		t.Fatalf("KernelShards changed the report:\nserial:  %s\nsharded: %s", serial, sharded)
+	}
+}
