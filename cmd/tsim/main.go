@@ -139,15 +139,11 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 	case *benchMode:
 		return runBench(stdout, stderr, *benchDir, *benchBaseline, *benchSuiteBaseline, *short)
 	case *experiment != "":
-		if cfg.KernelShards > 1 {
-			// Experiments build machine simulations, and the machine's
-			// partition plan beyond one shard is geometry-only (see
-			// machine.PartitionPlan.Buildable): they degrade to the serial
-			// plan deterministically. The note goes to stderr so stdout
-			// stays byte-identical to a serial run — which CI verifies.
-			fmt.Fprintf(stderr, "tsim: -kernel-shards %d: machine experiments run the serial plan; output is byte-identical\n", cfg.KernelShards)
-		}
-		return runExperiments(ctx, stdout, stderr, *experiment, *parallel, *jsonOut)
+		// Machine workloads inside experiments partition by geometry (one
+		// logical shard per module) and take the flag as their host worker
+		// count, so experiment output is byte-identical at every value —
+		// which CI verifies.
+		return runExperiments(workloads.WithKernelShards(ctx, cfg.KernelShards), stdout, stderr, *experiment, *parallel, *jsonOut)
 	case *workload != "":
 		return runWorkload(ctx, stdout, stderr, *workload, cfg, *sweep, *parallel, *jsonOut)
 	default:

@@ -245,5 +245,10 @@ func MeasureKernel(short bool) KernelTrajectory {
 		r.Shards = s.shards
 		t.Results = append(t.Results, r)
 	}
+	for _, s := range machineShardScenarios() {
+		r := measure(s.name, 4*minTime, s.run)
+		r.Shards = s.shards
+		t.Results = append(t.Results, r)
+	}
 	return t
 }

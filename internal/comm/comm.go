@@ -44,6 +44,11 @@ type Network struct {
 	// is only consulted when some channel is down or some node crashed;
 	// a healthy network routes pure e-cube without ever building it.
 	routes *routeTable
+
+	// view is the barrier-frozen topology view of a partitioned build
+	// (see shard.go); nil on a single-kernel network, where every code
+	// path below reads the live objects directly.
+	view *netView
 }
 
 // Endpoint is one node's interface to the network.
@@ -149,13 +154,23 @@ func BuildCube(k *sim.Kernel, nodes []*node.Node) (*Network, error) {
 	return n, nil
 }
 
-// alive reports whether node id is in service.
-func (n *Network) alive(id int) bool { return n.Nodes[id].Alive() }
+// alive reports whether node id is in service. A partitioned network
+// answers from the barrier-frozen view so no shard reads another
+// shard's node state mid-window.
+func (n *Network) alive(id int) bool {
+	if n.view != nil {
+		return n.view.alive[id]
+	}
+	return n.Nodes[id].Alive()
+}
 
 // anyCrashed reports whether any node is out of service. While false —
 // the overwhelmingly common case — every code path is identical to the
 // fault-free simulator.
 func (n *Network) anyCrashed() bool {
+	if n.view != nil {
+		return n.view.anyDead
+	}
 	for _, nd := range n.Nodes {
 		if !nd.Alive() {
 			return true
@@ -166,6 +181,9 @@ func (n *Network) anyCrashed() bool {
 
 // lowestAlive returns the smallest id of an in-service node, or -1.
 func (n *Network) lowestAlive() int {
+	if n.view != nil {
+		return n.view.lowest
+	}
 	for id, nd := range n.Nodes {
 		if nd.Alive() {
 			return id
@@ -272,26 +290,38 @@ func (e *Endpoint) route(p *sim.Proc, raw []byte, arriveDim int) {
 func (e *Endpoint) forward(p *sim.Proc, raw []byte, dst, arriveDim int) error {
 	diff := e.id ^ dst
 	bumpHops(raw)
+	if v := e.net.view; v != nil {
+		// Partitioned build: route from the barrier-frozen view. The
+		// candidates loop reads only this shard's own channel state
+		// (staged peers through their mirrors), so it stays usable; the
+		// live-graph table is frozen until the next barrier, so a
+		// channel dying mid-window falls back to the candidates loop
+		// instead of a rebuild.
+		if v.healthy {
+			return e.sendCandidates(p, raw, dst, arriveDim, diff)
+		}
+		d := v.nextHop[e.id][dst]
+		if d < 0 {
+			return &UnreachableError{Src: e.id, Dst: dst}
+		}
+		err := e.nd.Sublink(CubeSublink(int(d))).Send(p, raw)
+		if err == nil {
+			if diff&(1<<uint(d)) == 0 {
+				e.Detours++
+			}
+			return nil
+		}
+		if !link.IsDown(err) {
+			return err
+		}
+		if e.sendCandidates(p, raw, dst, arriveDim, diff) == nil {
+			return nil
+		}
+		return &UnreachableError{Src: e.id, Dst: dst}
+	}
 	t := e.net.refreshRoutes()
 	if t.healthy {
-		var lastErr error
-		for _, d := range e.candidates(dst, arriveDim) {
-			err := e.nd.Sublink(CubeSublink(d)).Send(p, raw)
-			if err == nil {
-				if diff&(1<<uint(d)) == 0 {
-					e.Detours++
-				}
-				return nil
-			}
-			if !link.IsDown(err) {
-				return err
-			}
-			lastErr = err
-		}
-		if lastErr == nil {
-			lastErr = fmt.Errorf("comm: node %d has no usable channel toward %d", e.id, dst)
-		}
-		return lastErr
+		return e.sendCandidates(p, raw, dst, arriveDim, diff)
 	}
 	// Damaged topology: follow the table, allowing one rebuild-and-retry
 	// if a channel died between the table build and this hop.
@@ -313,6 +343,29 @@ func (e *Endpoint) forward(p *sim.Proc, raw []byte, dst, arriveDim int) error {
 		t = e.net.refreshRoutes()
 	}
 	return &UnreachableError{Src: e.id, Dst: dst}
+}
+
+// sendCandidates walks the deterministic candidate order, sending on
+// the first channel that takes the frame.
+func (e *Endpoint) sendCandidates(p *sim.Proc, raw []byte, dst, arriveDim, diff int) error {
+	var lastErr error
+	for _, d := range e.candidates(dst, arriveDim) {
+		err := e.nd.Sublink(CubeSublink(d)).Send(p, raw)
+		if err == nil {
+			if diff&(1<<uint(d)) == 0 {
+				e.Detours++
+			}
+			return nil
+		}
+		if !link.IsDown(err) {
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("comm: node %d has no usable channel toward %d", e.id, dst)
+	}
+	return lastErr
 }
 
 // candidates lists outbound dimensions to try, in deterministic

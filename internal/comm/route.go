@@ -131,6 +131,12 @@ func (n *Network) Reachable(src, dst int) bool {
 	if src == dst {
 		return n.alive(src)
 	}
+	if v := n.view; v != nil {
+		if v.healthy {
+			return true
+		}
+		return n.alive(src) && n.alive(dst) && v.nextHop[src][dst] >= 0
+	}
 	t := n.refreshRoutes()
 	if t.healthy {
 		return true

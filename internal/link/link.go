@@ -182,6 +182,7 @@ type Sublink struct {
 	parent *Link
 	index  int
 	peer   *Sublink
+	staged *stagedPeer // cross-shard peer (see staged.go); nil when local
 	inbox  *sim.Chan
 	down   bool // outage: this end no longer drives or acknowledges
 }
@@ -212,7 +213,7 @@ func Connect(a, b *Sublink) error {
 	if a == b {
 		return fmt.Errorf("link: cannot connect %s to itself", a.Name())
 	}
-	if a.peer != nil || b.peer != nil {
+	if a.peer != nil || b.peer != nil || a.staged != nil || b.staged != nil {
 		return fmt.Errorf("link: sublink already connected (%s ↔ %s)", a.Name(), b.Name())
 	}
 	a.peer, b.peer = b, a
@@ -246,8 +247,8 @@ func (s *Sublink) Name() string {
 	return fmt.Sprintf("%s/sub%d", s.parent.Name, s.index)
 }
 
-// Connected reports whether the sublink has a peer.
-func (s *Sublink) Connected() bool { return s.peer != nil }
+// Connected reports whether the sublink has a peer (local or staged).
+func (s *Sublink) Connected() bool { return s.peer != nil || s.staged != nil }
 
 // Peer returns the remote sublink, or nil.
 func (s *Sublink) Peer() *Sublink { return s.peer }
@@ -266,8 +267,12 @@ func (s *Sublink) SetDown(down bool) {
 func (s *Sublink) Down() bool { return s.down }
 
 // Up reports whether the channel is usable end to end: connected and
-// neither side severed.
+// neither side severed. For a staged (cross-shard) pair the remote
+// side's state is the barrier-synced mirror.
 func (s *Sublink) Up() bool {
+	if s.staged != nil {
+		return !s.down && !s.staged.downMirror
+	}
 	return s.peer != nil && !s.down && !s.peer.down
 }
 
@@ -284,7 +289,7 @@ func (s *Sublink) Up() bool {
 // injector attached and both ends up, the timing and behaviour are
 // identical to a bare transfer.
 func (s *Sublink) Send(p *sim.Proc, data []byte) error {
-	if s.peer == nil {
+	if s.peer == nil && s.staged == nil {
 		return fmt.Errorf("link: %s is not connected", s.Name())
 	}
 	if len(data) == 0 {
@@ -330,6 +335,9 @@ func (s *Sublink) Send(p *sim.Proc, data []byte) error {
 // distinguishes a nack (checksum reject from a live peer) from silence
 // (dead wire). frame is nil exactly when the channel is down.
 func (s *Sublink) attempt(p *sim.Proc, frame []byte, sum uint32) (delivered, acked bool, err error) {
+	if s.staged != nil {
+		return s.attemptStaged(p, frame, sum)
+	}
 	l := s.parent
 	if s.down || s.peer.down {
 		// The DMA arms and drives the first bytes, but no acknowledge

@@ -316,13 +316,23 @@ func (d *Detector) silence(now sim.Time, s module.SlotHealth) sim.Duration {
 }
 
 // scanLossy looks for channels whose retransmit counters climbed by
-// more than LossyRetransmits since the last pass.
+// more than LossyRetransmits since the last pass. On a partitioned
+// machine the counters belong to other shards, so the scan reads the
+// barrier-synced retransmit mirror instead of the live links — at most
+// one window stale, which is deterministic for a fixed partition.
 func (d *Detector) scanLossy() {
+	mirror := d.M.rtxMirror
+	i := 0
 	for _, nd := range d.M.Nodes {
 		for li, l := range nd.Links {
+			rtx := l.Retransmits
+			if mirror != nil {
+				rtx = mirror[i]
+				i++
+			}
 			key := fmt.Sprintf("node%d/link%d", nd.ID, li)
-			delta := l.Retransmits - d.lastRtx[key]
-			d.lastRtx[key] = l.Retransmits
+			delta := rtx - d.lastRtx[key]
+			d.lastRtx[key] = rtx
 			if delta > LossyRetransmits && !d.lossy[key] {
 				d.lossy[key] = true
 				d.LossyLinks = append(d.LossyLinks, key)

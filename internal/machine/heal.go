@@ -106,6 +106,9 @@ func (h *Healer) EndpointOf(img int) *comm.Endpoint { return h.M.Net.Endpoint(h.
 // faults) trigger the heal sequence and a replay, up to MaxRestarts
 // times.
 func (h *Healer) Run(p *sim.Proc, body func(bp *sim.Proc, img int) error) error {
+	if h.M.Group != nil {
+		return h.runSharded(p, body)
+	}
 	sv := h.SV
 	imgs := h.Images()
 	restart := 0
@@ -191,9 +194,89 @@ func (h *Healer) healRetrying(p *sim.Proc, restart *int, cause error) error {
 	}
 }
 
+// runSharded is Run for a partitioned machine: bodies spawn on the
+// shards of the boards carrying their images (inside a Global section,
+// so spawn order never races), completions and alarms travel the
+// staged uplink edges, and the detector daemons start and stop with
+// every shard quiescent.
+func (h *Healer) runSharded(p *sim.Proc, body func(bp *sim.Proc, img int) error) error {
+	sv, m := h.SV, h.M
+	imgs := h.Images()
+	restart := 0
+	for {
+		err := sv.Checkpoint(p)
+		if err == nil {
+			break
+		}
+		if restart >= sv.MaxRestarts {
+			return err
+		}
+		restart++
+		if err := h.healRetrying(p, &restart, err); err != nil {
+			return err
+		}
+	}
+	m.Group.Global(p, func(sim.Time) { h.Det.Start() })
+	defer m.Group.Global(p, func(sim.Time) { h.Det.Stop() })
+	for ; ; restart++ {
+		for _, img := range imgs {
+			if h.physOf[img] < 0 {
+				m.Group.Global(p, func(sim.Time) { sv.killBodies() })
+				return fmt.Errorf("healer: image %d has no board", img)
+			}
+		}
+		sv.gen++
+		gen := sv.gen
+		sv.procs = make([]*sim.Proc, len(m.Nodes))
+		m.Group.Global(p, func(sim.Time) {
+			for _, img := range imgs {
+				img := img
+				phys := h.physOf[img]
+				shard := m.shardOf(phys)
+				pr := m.Group.Shard(shard).Go(fmt.Sprintf("healer/img%d", img), func(bp *sim.Proc) {
+					if err := body(bp, img); err != nil {
+						sv.noteFault(err)
+						sv.raise(bp, shard, err)
+						return
+					}
+					sv.okDone(bp, shard, gen)
+				})
+				sv.procs[phys] = pr
+				if sv.hung[phys] {
+					// The board wedged before this body ever ran; it stops
+					// dead, and only the progress-watching detector can tell.
+					pr.Kill()
+				}
+			}
+		})
+		var faultErr error
+		for oks := 0; oks < len(imgs) && faultErr == nil; {
+			which, v := sim.Select(p, sv.alarm, sv.okc)
+			if which == 0 {
+				faultErr = v.(error)
+			} else if v.(okTok).gen == gen {
+				oks++
+			}
+		}
+		if faultErr == nil {
+			return nil
+		}
+		if restart >= sv.MaxRestarts {
+			m.Group.Global(p, func(sim.Time) { sv.killBodies() })
+			return fmt.Errorf("healer: giving up after %d restarts: %v", restart, faultErr)
+		}
+		if err := h.healRetrying(p, &restart, faultErr); err != nil {
+			return err
+		}
+	}
+}
+
 // heal is the remap-aware recovery sequence: halt, drain, flush,
 // bypass-and-remap (or degrade), restore, replay.
 func (h *Healer) heal(p *sim.Proc, cause error) error {
+	if h.M.Group != nil {
+		return h.healSharded(p, cause)
+	}
 	sv, m := h.SV, h.M
 	start := p.Now()
 	h.Det.Suspend()
@@ -216,7 +299,7 @@ func (h *Healer) heal(p *sim.Proc, cause error) error {
 		if nd := m.Nodes[hung.Node]; nd.Alive() {
 			nd.Crash()
 		}
-		delete(sv.hung, hung.Node)
+		sv.hung[hung.Node] = false
 	}
 
 	// Remap every dead, still-cabled board.
@@ -244,7 +327,7 @@ func (h *Healer) heal(p *sim.Proc, cause error) error {
 		if spare < 0 {
 			// Spares exhausted: repair in place, pay the engineer visit.
 			nd.Repair()
-			delete(sv.hung, phys)
+			sv.hung[phys] = false
 			degraded = true
 			h.Degraded++
 			m.K.Count("heal.degraded_count", 1)
@@ -265,11 +348,127 @@ func (h *Healer) heal(p *sim.Proc, cause error) error {
 			p.Wait(sim.Duration(memory.NumRows) * sim.RowAccess)
 			m.Nodes[base+spare].Mem.PokeBytes(0, nd.Mem.PeekBytes(0, memory.Bytes))
 		}
-		delete(sv.hung, phys)
+		sv.hung[phys] = false
 		h.physOf[base+img] = base + spare
 		h.Remaps++
 		m.K.Count("heal.remap_count", 1)
 		h.note(p, "node %d dead: image %d remapped to spare slot %d of module %d", phys, base+img, spare, mod.Index)
+	}
+	if degraded {
+		p.Wait(BoardSwapTime)
+	}
+
+	if sv.lastSnaps != nil {
+		if err := sv.restoreLatest(p); err != nil {
+			return err
+		}
+		sv.Rollbacks++
+	}
+	sv.drainAlarms()
+	sv.LastRecovery = p.Now().Sub(start)
+	m.K.Count("heal.recover_ns", int64(sv.LastRecovery/sim.Nanosecond))
+	return nil
+}
+
+// healSharded is the heal sequence on a partitioned machine. Every
+// step that touches state owned by other shards — killing bodies,
+// aborting snapshots, flushing, the bypass/remap walk — runs in a
+// Global section with all shards quiescent; the timed waits the serial
+// path interleaves with the walk (the boot-state service reads, the
+// degraded-mode board swap) are hoisted between the sections, since a
+// Global body must not block.
+func (h *Healer) healSharded(p *sim.Proc, cause error) error {
+	sv, m := h.SV, h.M
+	start := p.Now()
+	m.Group.Global(p, func(sim.Time) { h.Det.Suspend() })
+	defer m.Group.Global(p, func(sim.Time) { h.Det.Resume() })
+
+	m.Group.Global(p, func(sim.Time) {
+		sv.killBodies()
+		for _, mod := range m.Modules {
+			mod.AbortSnapshot()
+		}
+	})
+	p.Wait(sv.DrainTime)
+
+	type reseed struct{ corpse, spare int }
+	var reseeds []reseed
+	degraded := false
+	var healErr error
+	m.Group.Global(p, func(sim.Time) {
+		m.Net.Flush()
+		for _, mod := range m.Modules {
+			mod.FlushThread()
+		}
+		var hung *DetectedHang
+		if errors.As(cause, &hung) {
+			if nd := m.Nodes[hung.Node]; nd.Alive() {
+				nd.Crash()
+			}
+			sv.hung[hung.Node] = false
+		}
+		for phys, nd := range m.Nodes {
+			if nd.Alive() {
+				continue
+			}
+			mod := m.Modules[phys/module.NodesPerModule]
+			base := mod.Index * module.NodesPerModule
+			slot := phys - base
+			if mod.Bypassed(slot) {
+				continue
+			}
+			img := mod.ImageOf(slot)
+			if img < 0 {
+				if err := mod.BypassSlot(slot); err != nil {
+					healErr = err
+					return
+				}
+				h.note(p, "spare slot %d of module %d died; bypassed", slot, mod.Index)
+				continue
+			}
+			spare := h.pickSpare(mod)
+			if spare < 0 {
+				nd.Repair()
+				sv.hung[phys] = false
+				degraded = true
+				h.Degraded++
+				m.K.Count("heal.degraded_count", 1)
+				h.note(p, "node %d dead, no spare in module %d: degraded in-place repair", phys, mod.Index)
+				continue
+			}
+			if err := mod.BypassSlot(slot); err != nil {
+				healErr = err
+				return
+			}
+			if err := mod.AdoptImage(spare, img); err != nil {
+				healErr = err
+				return
+			}
+			if sv.lastSnaps == nil {
+				reseeds = append(reseeds, reseed{corpse: phys, spare: base + spare})
+			}
+			sv.hung[phys] = false
+			h.physOf[base+img] = base + spare
+			h.Remaps++
+			m.K.Count("heal.remap_count", 1)
+			h.note(p, "node %d dead: image %d remapped to spare slot %d of module %d", phys, base+img, spare, mod.Index)
+		}
+	})
+	if healErr != nil {
+		return healErr
+	}
+	if len(reseeds) > 0 {
+		// Boot checkpoint never completed: pay the service-path read time
+		// per corpse, then seed the spares from the dead boards' RAM with
+		// the machine quiescent.
+		for range reseeds {
+			p.Wait(sim.Duration(memory.NumRows) * sim.RowAccess)
+		}
+		m.Group.Global(p, func(sim.Time) {
+			for _, r := range reseeds {
+				m.Nodes[r.spare].Mem.PokeBytes(0, m.Nodes[r.corpse].Mem.PeekBytes(0, memory.Bytes))
+			}
+		})
 	}
 	if degraded {
 		p.Wait(BoardSwapTime)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tseries/internal/comm"
+	"tseries/internal/fault"
 	"tseries/internal/module"
 	"tseries/internal/node"
 	"tseries/internal/sim"
@@ -24,6 +25,21 @@ type Machine struct {
 	Nodes   []*node.Node
 	Modules []*module.Module
 	Net     *comm.Network
+
+	// Partitioned-build state (see sharded.go); all nil/zero on a
+	// serial machine. K is shard 0's kernel then — module 0's shard,
+	// where the control plane (supervisor alarms, failure detector)
+	// anchors.
+	Group *sim.ShardGroup
+	Plan  *PartitionPlan
+
+	ctl     []*sim.Chan    // per-shard control-token inbox
+	ctlEdge [][]*sim.XChan // [from][to] staged control edges
+	ctlGen  int64          // join generation; stale tokens are ignored
+
+	rtxMirror []int64 // [node*links+i] barrier-synced link retransmit counts
+	epochSeen int64   // last topology epoch the shard views were synced at
+	faults    *fault.Sharded
 }
 
 // New builds a 2^dim-node machine: nodes, hypercube network on sublinks
@@ -76,6 +92,9 @@ func (m *Machine) Endpoint(id int) *comm.Endpoint { return m.Net.Endpoint(id) }
 // complete. Because each module has its own thread and disk, the elapsed
 // time is that of one module — "regardless of configuration".
 func (m *Machine) SnapshotAll(p *sim.Proc) ([]*module.Snapshot, error) {
+	if m.Group != nil {
+		return m.snapshotAllSharded(p)
+	}
 	snaps := make([]*module.Snapshot, len(m.Modules))
 	errs := make([]error, len(m.Modules))
 	done := sim.NewChan(m.K, "machine/snapall", len(m.Modules))
@@ -101,6 +120,9 @@ func (m *Machine) SnapshotAll(p *sim.Proc) ([]*module.Snapshot, error) {
 func (m *Machine) RestoreAll(p *sim.Proc, snaps []*module.Snapshot) error {
 	if len(snaps) != len(m.Modules) {
 		return fmt.Errorf("machine: %d snapshots for %d modules", len(snaps), len(m.Modules))
+	}
+	if m.Group != nil {
+		return m.restoreAllSharded(p, snaps)
 	}
 	errs := make([]error, len(m.Modules))
 	done := sim.NewChan(m.K, "machine/restoreall", len(m.Modules))

@@ -108,23 +108,58 @@ func (p *PartitionPlan) CrossShardDims() []int {
 	return dims
 }
 
-// Buildable reports whether the current machine builder can realise
-// this plan as a sharded simulation, and when it cannot, why. Today
-// only the serial plan is buildable: comm.Network materialises every
-// node's routers against one kernel and the supervisor, failure
-// detector, and heal manager walk that shared object graph directly, so
-// a multi-shard build would require the network construction itself to
-// be partition-aware (per-shard sub-networks joined by staged edges).
-// The plan type exists so that the partition geometry, its lookahead,
-// and its invariants are pinned by tests before that migration starts —
-// and so that callers requesting shards on machine workloads degrade to
-// serial deterministically instead of racing.
+// Buildable reports whether the machine builder can realise this plan
+// as a sharded simulation, and when it cannot, why. Multi-shard plans
+// are buildable as long as every shard boundary falls on an edge with a
+// positive latency floor: comm.BuildCubeOn and module.ConnectRingOn
+// stage cross-shard hypercube and ring traffic through XChan edges, and
+// NewSharded ports the supervisor/detector/heal control plane to shard
+// ownership. A plan is refused only when some boundary edge has no
+// floor to stage across — splitting below module granularity would put
+// a shard boundary on the intramodule backplane (hypercube dims 0..2),
+// whose transfers have no guaranteed minimum latency — or when the plan
+// is internally inconsistent.
 func (p *PartitionPlan) Buildable() (bool, string) {
 	if p.Shards <= 1 {
 		return true, ""
 	}
-	return false, fmt.Sprintf(
-		"machine: %d-shard build requires a partition-aware comm.Network; "+
-			"machine workloads run serial (the %d-module plan with %v lookahead is geometry only)",
-		p.Shards, p.Modules, p.Lookahead)
+	if p.Dim > MaxSimDim {
+		return false, fmt.Sprintf(
+			"machine: %d-cube exceeds the simulator's %d-cube instantiation cap", p.Dim, MaxSimDim)
+	}
+	if p.Shards > p.Modules {
+		return false, fmt.Sprintf(
+			"machine: %d shards over %d modules would cut the intramodule backplane "+
+				"(hypercube dims 0..2), which has no latency floor to use as lookahead",
+			p.Shards, p.Modules)
+	}
+	if p.Lookahead <= 0 {
+		return false, fmt.Sprintf(
+			"machine: %d-shard plan has no positive cross-shard lookahead; the staged "+
+				"hypercube/ring edges need a latency floor", p.Shards)
+	}
+	if len(p.Assign) != p.Modules {
+		return false, fmt.Sprintf(
+			"machine: assignment covers %d of %d modules", len(p.Assign), p.Modules)
+	}
+	seen := make([]bool, p.Shards)
+	for mod, s := range p.Assign {
+		if s < 0 || s >= p.Shards {
+			return false, fmt.Sprintf(
+				"machine: module %d assigned to shard %d outside [0,%d)", mod, s, p.Shards)
+		}
+		seen[s] = true
+	}
+	for s, ok := range seen {
+		if !ok {
+			return false, fmt.Sprintf("machine: shard %d owns no module", s)
+		}
+	}
+	if p.Assign[0] != 0 {
+		return false, fmt.Sprintf(
+			"machine: module 0 assigned to shard %d; the control plane (failure detector "+
+				"home, supervisor alarm uplinks) anchors on module 0's shard, which must be shard 0",
+			p.Assign[0])
+	}
+	return true, ""
 }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"tseries/internal/comm"
@@ -99,17 +100,91 @@ func TestShardOfNodeRespectsModules(t *testing.T) {
 	}
 }
 
-func TestBuildableOnlySerialToday(t *testing.T) {
+func TestMultiShardPlansBuildable(t *testing.T) {
 	serial, _ := PlanPartition(6, 1)
-	if ok, _ := serial.Buildable(); !ok {
-		t.Error("serial plan must always be buildable")
+	if ok, why := serial.Buildable(); !ok {
+		t.Errorf("serial plan must always be buildable: %s", why)
 	}
-	multi, _ := PlanPartition(6, 4)
-	ok, why := multi.Buildable()
-	if ok {
-		t.Error("multi-shard machine build is not yet partition-aware; Buildable must refuse")
+	// Every plan PlanPartition emits — any dimension, any shard count —
+	// is buildable: shard boundaries always fall on cabled intermodule
+	// edges, which have a latency floor to stage across.
+	for _, c := range []struct{ dim, want int }{
+		{4, 2}, {5, 4}, {6, 2}, {6, 4}, {6, 8}, {7, 3}, {8, 16},
+	} {
+		p, err := PlanPartition(c.dim, c.want)
+		if err != nil {
+			t.Fatalf("PlanPartition(%d,%d): %v", c.dim, c.want, err)
+		}
+		if ok, why := p.Buildable(); !ok {
+			t.Errorf("PlanPartition(%d,%d) must be buildable: %s", c.dim, c.want, why)
+		}
 	}
-	if why == "" {
-		t.Error("refusal must explain itself")
+}
+
+func TestUnbuildablePlansNameBlockingEdge(t *testing.T) {
+	mk := func(mutate func(*PartitionPlan)) *PartitionPlan {
+		p, err := PlanPartition(6, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(p)
+		return p
+	}
+	cases := []struct {
+		name string
+		plan *PartitionPlan
+		want string // substring the reason must carry, naming the blocking edge
+	}{
+		{
+			// More shards than modules would cut inside a module: the
+			// backplane dims (0..2) have no latency floor.
+			name: "backplane-cut",
+			plan: mk(func(p *PartitionPlan) { p.Shards = p.Modules + 1 }),
+			want: "intramodule backplane",
+		},
+		{
+			name: "zero-lookahead",
+			plan: mk(func(p *PartitionPlan) { p.Lookahead = 0 }),
+			want: "lookahead",
+		},
+		{
+			name: "control-shard-displaced",
+			plan: mk(func(p *PartitionPlan) { p.Assign[0], p.Assign[7] = 3, 0 }),
+			want: "module 0",
+		},
+		{
+			name: "empty-shard",
+			plan: mk(func(p *PartitionPlan) {
+				for m := range p.Assign {
+					if p.Assign[m] == 3 {
+						p.Assign[m] = 2
+					}
+				}
+			}),
+			want: "shard 3 owns no module",
+		},
+		{
+			name: "out-of-range",
+			plan: mk(func(p *PartitionPlan) { p.Assign[5] = 9 }),
+			want: "module 5",
+		},
+		{
+			name: "oversized-cube",
+			plan: mk(func(p *PartitionPlan) { p.Dim = MaxSimDim + 1 }),
+			want: "instantiation cap",
+		},
+	}
+	for _, c := range cases {
+		ok, why := c.plan.Buildable()
+		if ok {
+			t.Errorf("%s: plan must be refused", c.name)
+			continue
+		}
+		if why == "" {
+			t.Errorf("%s: refusal must explain itself", c.name)
+		}
+		if !strings.Contains(why, c.want) {
+			t.Errorf("%s: reason %q does not name the blocking edge (want %q)", c.name, why, c.want)
+		}
 	}
 }

@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tseries/internal/sim"
+)
+
+func TestShardedMachineBuilds(t *testing.T) {
+	m, err := NewSharded(context.Background(), 4) // one cabinet: 16 nodes, 2 modules
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Partitioned() {
+		t.Fatal("dim-4 machine must build partitioned")
+	}
+	if m.Group.Shards() != 2 || len(m.Modules) != 2 {
+		t.Fatalf("shards=%d modules=%d, want 2/2", m.Group.Shards(), len(m.Modules))
+	}
+	// Corner-to-corner routing crosses the shard boundary (node 15 is
+	// module 1's, node 0 module 0's).
+	var ok bool
+	m.Group.Shard(0).Go("tx", func(p *sim.Proc) {
+		if err := m.Endpoint(0).Send(p, 15, 1, []byte("across the tesseract")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	m.Group.Shard(1).Go("rx", func(p *sim.Proc) {
+		src, payload := m.Endpoint(15).Recv(p, 1)
+		ok = src == 0 && string(payload) == "across the tesseract"
+	})
+	m.Run(0)
+	if !ok {
+		t.Fatal("cross-shard message failed")
+	}
+	if st := m.SimStats(); st.CrossShard == 0 {
+		t.Error("expected staged cross-shard traffic")
+	}
+}
+
+func TestShardedSnapshotAllFromAnyShard(t *testing.T) {
+	// SnapshotAll still takes ≈15 s wall (modules snapshot in parallel,
+	// each on its own shard) and may be issued from a non-control shard.
+	m, err := NewSharded(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed sim.Duration
+	m.Group.Shard(1).Go("snap", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := m.SnapshotAll(p); err != nil {
+			t.Errorf("snapall: %v", err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	m.Run(0)
+	if s := elapsed.Seconds(); s < 13 || s > 17 {
+		t.Fatalf("machine snapshot took %.2f s, want ≈15 regardless of partition", s)
+	}
+}
+
+func TestNewAutoPicksGeometry(t *testing.T) {
+	serial, err := NewAuto(context.Background(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Partitioned() {
+		t.Fatal("single-module dim-3 machine must build serial regardless of workers")
+	}
+	sharded, err := NewAuto(context.Background(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Partitioned() || sharded.Group.Shards() != 4 {
+		t.Fatalf("dim-5 machine: partitioned=%v shards=%d, want 4 shards (one per module)",
+			sharded.Partitioned(), sharded.Group.Shards())
+	}
+}
+
+// TestShardedMachineWorkerInvariant runs the same partitioned exchange
+// at worker counts 1, 2, and 4 and demands identical end state: the
+// partition is fixed by the geometry, workers only execute it.
+func TestShardedMachineWorkerInvariant(t *testing.T) {
+	run := func(workers int) string {
+		m, err := NewAuto(context.Background(), 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < len(m.Nodes); id++ {
+			nodeID := id
+			m.Group.Shard(m.Plan.ShardOfNode(id)).Go(fmt.Sprintf("x%d", id), func(p *sim.Proc) {
+				peer := nodeID ^ 15 // opposite corner: always cross-module
+				ep := m.Endpoint(nodeID)
+				if err := ep.Send(p, peer, 2, []byte{byte(nodeID)}); err != nil {
+					t.Errorf("node %d send: %v", nodeID, err)
+					return
+				}
+				src, payload := ep.Recv(p, 2)
+				if src != peer || len(payload) != 1 || payload[0] != byte(peer) {
+					t.Errorf("node %d: got %d bytes from %d", nodeID, len(payload), src)
+				}
+			})
+		}
+		end := m.Run(0)
+		return fmt.Sprintf("end=%v stats=%+v", end, m.SimStats())
+	}
+	want := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); got != want {
+			t.Errorf("workers=%d diverged:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}

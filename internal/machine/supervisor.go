@@ -3,6 +3,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"tseries/internal/comm"
 	"tseries/internal/fault"
@@ -36,11 +37,23 @@ type Supervisor struct {
 	// hung marks boards wedged by a hang fault. The wedge is a property
 	// of the BOARD, not of whatever process happened to be running: a
 	// body spawned onto a hung board later (a hang that landed between
-	// restarts, or during boot) stops dead immediately.
-	hung      map[int]bool
+	// restarts, or during boot) stops dead immediately. It is a slice,
+	// not a map, so concurrent same-window writes from different shards
+	// of a partitioned machine (always to distinct indices — each shard
+	// wedges only its own boards) stay race-free.
+	hung      []bool
 	lastSnaps []*module.Snapshot
 	prevSnaps []*module.Snapshot
 	lastCkpt  sim.Time
+
+	// Partitioned-machine uplinks into the shard-0 control plane:
+	// up[s]/okUp[s] deliver alarms and ok tokens from shard s into the
+	// alarm and okc channels. gen tags ok tokens so leftovers of a
+	// halted restart are skipped.
+	up   []*sim.XChan
+	okc  *sim.Chan
+	okUp []*sim.XChan
+	gen  int64
 
 	// det, when a Healer is attached, is suspended around checkpoints
 	// and recovery so the thread congestion they cause is not read as
@@ -63,13 +76,26 @@ type Supervisor struct {
 // policy from the machine's Spec.Recovery.
 func NewSupervisor(m *Machine) *Supervisor {
 	r := m.Spec.Recovery
-	return &Supervisor{
+	sv := &Supervisor{
 		M:           m,
 		MaxRestarts: r.MaxRestarts,
 		DrainTime:   r.DrainTime,
 		alarm:       sim.NewChan(m.K, "supervisor/alarm", 1024),
-		hung:        map[int]bool{},
+		hung:        make([]bool, m.Spec.Nodes),
 	}
+	if m.Group != nil {
+		// Persistent uplink edges from every non-control shard into the
+		// shard-0 alarm and ok channels, with the plan's lookahead.
+		shards := m.Group.Shards()
+		sv.okc = sim.NewChan(m.K, "supervisor/ok", 4*m.Spec.Nodes)
+		sv.up = make([]*sim.XChan, shards)
+		sv.okUp = make([]*sim.XChan, shards)
+		for s := 1; s < shards; s++ {
+			sv.up[s] = m.Group.ConnectInto(s, 0, fmt.Sprintf("sv/alarmup%d", s), m.Plan.Lookahead, sv.alarm)
+			sv.okUp[s] = m.Group.ConnectInto(s, 0, fmt.Sprintf("sv/okup%d", s), m.Plan.Lookahead, sv.okc)
+		}
+	}
+	return sv
 }
 
 // post raises an alarm from kernel (event-callback) context, where no
@@ -77,6 +103,21 @@ func NewSupervisor(m *Machine) *Supervisor {
 func (sv *Supervisor) post(err error) {
 	sv.M.K.Go("supervisor/alarmpost", func(p *sim.Proc) {
 		sv.alarm.Send(p, err)
+	})
+}
+
+// postNode raises an alarm about node id from that node's shard: on a
+// partitioned machine the posting process runs on the owning shard's
+// kernel and the alarm travels the staged uplink edge.
+func (sv *Supervisor) postNode(id int, err error) {
+	s := sv.M.shardOf(id)
+	if sv.M.Group == nil || s == 0 {
+		sv.post(err)
+		return
+	}
+	up := sv.up[s]
+	sv.M.Group.Shard(s).Go("supervisor/alarmpost", func(p *sim.Proc) {
+		up.Send(p, err)
 	})
 }
 
@@ -98,10 +139,13 @@ type FaultSink interface {
 // stopped executing. A declared crash also alarms the supervisor; an
 // undeclared one is left for the failure detector to find.
 func (sv *Supervisor) NodeCrashed(id int, declared bool) {
-	sv.Crashes++
+	// On a partitioned machine this runs on the crashed node's shard;
+	// two shards can take a crash in the same window, so the counter is
+	// atomic (its final value is still deterministic — it counts events).
+	atomic.AddInt64(&sv.Crashes, 1)
 	sv.killBody(id)
 	if declared {
-		sv.post(&comm.CrashedError{Node: id})
+		sv.postNode(id, &comm.CrashedError{Node: id})
 	}
 }
 
@@ -109,7 +153,7 @@ func (sv *Supervisor) NodeCrashed(id int, declared bool) {
 // board keeps beating with a frozen progress word. Only a detector
 // watching progress can tell this from slow code.
 func (sv *Supervisor) NodeHung(id int) {
-	sv.Hangs++
+	atomic.AddInt64(&sv.Hangs, 1)
 	sv.hung[id] = true
 	sv.killBody(id)
 }
@@ -127,10 +171,13 @@ func (sv *Supervisor) killBody(id int) {
 // corruption.
 func (sv *Supervisor) Checkpoint(p *sim.Proc) error {
 	// A snapshot floods the module threads for seconds; a detector left
-	// watching would read the delayed beats as silence.
+	// watching would read the delayed beats as silence. The detector
+	// state lives on shard 0, while the checkpointing process may run
+	// anywhere — globalOp flips the suspension with every shard
+	// quiescent (inline on a serial machine).
 	if sv.det != nil {
-		sv.det.Suspend()
-		defer sv.det.Resume()
+		sv.M.globalOp(p, func(sim.Time) { sv.det.Suspend() })
+		defer sv.M.globalOp(p, func(sim.Time) { sv.det.Resume() })
 	}
 	snaps, err := sv.M.SnapshotAll(p)
 	if err != nil {
@@ -157,6 +204,9 @@ func (sv *Supervisor) MaybeCheckpoint(p *sim.Proc, interval sim.Duration) error 
 // halts everything, rolls the machine back, and replays, up to
 // MaxRestarts times.
 func (sv *Supervisor) Run(p *sim.Proc, body func(bp *sim.Proc, id int) error) error {
+	if sv.M.Group != nil {
+		return sv.runSharded(p, body)
+	}
 	n := sv.M.Spec.Nodes
 	if err := sv.Checkpoint(p); err != nil {
 		return err
@@ -208,11 +258,13 @@ func (sv *Supervisor) killBodies() {
 	}
 }
 
-// noteFault classifies a body error for the counters.
+// noteFault classifies a body error for the counters. Bodies on
+// different shards of a partitioned machine can fault in the same
+// window, so the counter is atomic.
 func (sv *Supervisor) noteFault(err error) {
 	var pe *memory.ParityError
 	if errors.As(err, &pe) {
-		sv.ParityFaults++
+		atomic.AddInt64(&sv.ParityFaults, 1)
 	}
 }
 
@@ -240,6 +292,113 @@ func (sv *Supervisor) recover(p *sim.Proc) error {
 	}
 	// Rewind to the newest snapshot; if its blocks rotted on disk,
 	// fall back one generation.
+	if err := sv.restoreLatest(p); err != nil {
+		return err
+	}
+	sv.Rollbacks++
+	sv.drainAlarms()
+	sv.LastRecovery = p.Now().Sub(start)
+	return nil
+}
+
+// okTok is one body-completed token on a partitioned machine, tagged
+// with the restart generation so tokens of a halted restart are skipped.
+type okTok struct{ gen int64 }
+
+// raise sends a body error toward the shard-0 alarm channel.
+func (sv *Supervisor) raise(bp *sim.Proc, shard int, err error) {
+	if shard == 0 {
+		sv.alarm.Send(bp, err)
+		return
+	}
+	sv.up[shard].Send(bp, err)
+}
+
+// okDone sends a body-completed token toward the shard-0 ok channel.
+func (sv *Supervisor) okDone(bp *sim.Proc, shard int, gen int64) {
+	if shard == 0 {
+		sv.okc.Send(bp, okTok{gen: gen})
+		return
+	}
+	sv.okUp[shard].Send(bp, okTok{gen: gen})
+}
+
+// runSharded is Run for a partitioned machine: bodies spawn on their
+// nodes' own shards inside a Global section, completions and alarms
+// travel the staged uplink edges, and the supervising process (which
+// must run on shard 0, where the alarm channel lives) collects them.
+func (sv *Supervisor) runSharded(p *sim.Proc, body func(bp *sim.Proc, id int) error) error {
+	m := sv.M
+	n := m.Spec.Nodes
+	if err := sv.Checkpoint(p); err != nil {
+		return err
+	}
+	for restart := 0; ; restart++ {
+		sv.gen++
+		gen := sv.gen
+		sv.procs = make([]*sim.Proc, n)
+		m.Group.Global(p, func(sim.Time) {
+			for id := 0; id < n; id++ {
+				nodeID := id
+				shard := m.shardOf(id)
+				sv.procs[id] = m.Group.Shard(shard).Go(fmt.Sprintf("supervisor/n%d", nodeID), func(bp *sim.Proc) {
+					if err := body(bp, nodeID); err != nil {
+						sv.noteFault(err)
+						sv.raise(bp, shard, err)
+						return
+					}
+					sv.okDone(bp, shard, gen)
+				})
+			}
+		})
+		var faultErr error
+		for oks := 0; oks < n && faultErr == nil; {
+			which, v := sim.Select(p, sv.alarm, sv.okc)
+			if which == 0 {
+				faultErr = v.(error)
+			} else if v.(okTok).gen == gen {
+				oks++
+			}
+		}
+		if faultErr == nil {
+			return nil
+		}
+		if restart >= sv.MaxRestarts {
+			m.globalOp(p, func(sim.Time) { sv.killBodies() })
+			return fmt.Errorf("supervisor: giving up after %d restarts: %v", restart, faultErr)
+		}
+		if err := sv.recoverSharded(p); err != nil {
+			return err
+		}
+	}
+}
+
+// recoverSharded is the rollback sequence on a partitioned machine. The
+// halt/flush/repair steps mutate state owned by every shard, so each
+// runs in a Global section; the drain wait between them is real
+// simulated time, during which in-flight staged frames (bounded by the
+// frame transfer time, microseconds against a 500 ms drain) settle.
+func (sv *Supervisor) recoverSharded(p *sim.Proc) error {
+	m := sv.M
+	start := p.Now()
+	m.Group.Global(p, func(sim.Time) {
+		sv.killBodies()
+		for _, mod := range m.Modules {
+			mod.AbortSnapshot()
+		}
+	})
+	p.Wait(sv.DrainTime)
+	m.Group.Global(p, func(sim.Time) {
+		m.Net.Flush()
+		for _, mod := range m.Modules {
+			mod.FlushThread()
+		}
+		for _, nd := range m.Nodes {
+			if !nd.Alive() {
+				nd.Repair()
+			}
+		}
+	})
 	if err := sv.restoreLatest(p); err != nil {
 		return err
 	}
@@ -288,21 +447,56 @@ func (m *Machine) ArmFaults(plan *fault.Plan, sv *Supervisor) {
 }
 
 // ArmFaultsSink is ArmFaults with an arbitrary fault observer.
+//
+// On a serial machine the plan itself is the injector on every link: a
+// single splitmix64 stream consumed in kernel order. A partitioned
+// machine cannot share one stream across shards, so each link gets its
+// own stream derived from (seed, link name) — created here, in host
+// context, so stream creation never depends on simulation scheduling —
+// and each timed event is scheduled on its target's owning shard.
 func (m *Machine) ArmFaultsSink(plan *fault.Plan, sink FaultSink) {
 	if plan == nil {
 		return
 	}
+	if m.Group == nil {
+		for _, nd := range m.Nodes {
+			for _, l := range nd.Links {
+				l.SetInjector(plan)
+			}
+		}
+		for _, mod := range m.Modules {
+			mod.Sys.Link.SetInjector(plan)
+		}
+		for _, ev := range plan.Events {
+			ev := ev
+			m.K.At(sim.Time(ev.At), func() { m.applyFault(ev, sink) })
+		}
+		return
+	}
+	sp := fault.NewSharded(plan)
+	m.faults = sp
 	for _, nd := range m.Nodes {
 		for _, l := range nd.Links {
-			l.SetInjector(plan)
+			l.SetInjector(sp.ForLink(l.Name))
 		}
 	}
 	for _, mod := range m.Modules {
-		mod.Sys.Link.SetInjector(plan)
+		mod.Sys.Link.SetInjector(sp.ForLink(mod.Sys.Link.Name))
 	}
 	for _, ev := range plan.Events {
 		ev := ev
-		m.K.At(sim.Time(ev.At), func() { m.applyFault(ev, sink) })
+		shard := 0
+		switch ev.Kind {
+		case fault.DiskCorrupt:
+			if ev.Mod < len(m.Modules) {
+				shard = m.Plan.Assign[ev.Mod]
+			}
+		default:
+			if ev.Node < len(m.Nodes) {
+				shard = m.shardOf(ev.Node)
+			}
+		}
+		m.Group.Shard(shard).At(sim.Time(ev.At), func() { m.applyFault(ev, sink) })
 	}
 }
 
@@ -346,6 +540,13 @@ func (m *Machine) FaultReport(plan *fault.Plan, sv *Supervisor) stats.FaultCount
 	if plan != nil {
 		fc.FramesCorrupted = plan.FramesCorrupted
 		fc.BitsFlipped = plan.BitsFlipped
+	}
+	if m.faults != nil {
+		// Partitioned injection: the per-link streams hold the counts
+		// (the plan's own stream was never consumed).
+		f, b := m.faults.Totals()
+		fc.FramesCorrupted += f
+		fc.BitsFlipped += b
 	}
 	addLink := func(l *link.Link) {
 		fc.Detected += l.Corrupted - l.Undetected

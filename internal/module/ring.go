@@ -30,43 +30,81 @@ func ConnectRing(k *sim.Kernel, mods []*Module) error {
 		}
 	}
 	for _, m := range mods {
-		mod := m
-		k.GoDaemon(fmt.Sprintf("mod%d/sys/ring", mod.Index), func(p *sim.Proc) {
-			for {
-				raw := mod.Sys.Link.Sublink(sysRingIn).Recv(p)
-				if len(raw) < 3 {
-					continue
-				}
-				if raw[0] == kindHealth {
-					// Health summaries are addressed: consume ours,
-					// relay the rest around the ring until their hop
-					// budget dies.
-					if len(raw) < 4 {
-						continue
-					}
-					if int(raw[1]) == mod.Index {
-						mod.acceptHealth(raw)
-						continue
-					}
-					if raw[3]++; raw[3] < healthHopBudget {
-						_ = mod.Sys.Link.Sublink(sysRingOut).Send(p, raw)
-					}
-					continue
-				}
-				if raw[0] != kindBackup {
-					continue
-				}
-				keyLen := int(binary.LittleEndian.Uint16(raw[1:3]))
-				if len(raw) < 3+keyLen {
-					continue
-				}
-				key := string(raw[3 : 3+keyLen])
-				data := raw[3+keyLen:]
-				mod.Disk.Write(p, key, data)
-			}
-		})
+		startRingDaemon(k, m)
 	}
 	return nil
+}
+
+// ConnectRingOn is ConnectRing for a partitioned machine: ring segments
+// whose endpoints live on different shard kernels become staged link
+// pairs over XChan edges (one per direction) with the link-layer
+// lookahead, and each module's ring daemon runs on that module's own
+// kernel. shardOf maps a module index to its owning shard.
+func ConnectRingOn(g *sim.ShardGroup, mods []*Module, shardOf func(idx int) int) error {
+	if len(mods) < 2 {
+		return fmt.Errorf("module: a ring needs at least two modules")
+	}
+	for i := range mods {
+		next := mods[(i+1)%len(mods)]
+		out := mods[i].Sys.Link.Sublink(sysRingOut)
+		in := next.Sys.Link.Sublink(sysRingIn)
+		sa, sb := shardOf(i), shardOf(next.Index)
+		if sa == sb {
+			if err := link.Connect(out, in); err != nil {
+				return err
+			}
+			continue
+		}
+		ab := g.ConnectInto(sa, sb, fmt.Sprintf("xring/mod%d-mod%d", i, next.Index), link.Lookahead, in.Inbox())
+		ba := g.ConnectInto(sb, sa, fmt.Sprintf("xring/mod%d-mod%d", next.Index, i), link.Lookahead, out.Inbox())
+		if err := link.ConnectStaged(out, in, ab, ba); err != nil {
+			return err
+		}
+	}
+	for _, m := range mods {
+		startRingDaemon(m.k, m)
+	}
+	return nil
+}
+
+// startRingDaemon runs one module's ring service loop on kernel k:
+// store arriving backup blocks, consume addressed health summaries,
+// relay the rest.
+func startRingDaemon(k *sim.Kernel, mod *Module) {
+	k.GoDaemon(fmt.Sprintf("mod%d/sys/ring", mod.Index), func(p *sim.Proc) {
+		for {
+			raw := mod.Sys.Link.Sublink(sysRingIn).Recv(p)
+			if len(raw) < 3 {
+				continue
+			}
+			if raw[0] == kindHealth {
+				// Health summaries are addressed: consume ours,
+				// relay the rest around the ring until their hop
+				// budget dies.
+				if len(raw) < 4 {
+					continue
+				}
+				if int(raw[1]) == mod.Index {
+					mod.acceptHealth(raw)
+					continue
+				}
+				if raw[3]++; raw[3] < healthHopBudget {
+					_ = mod.Sys.Link.Sublink(sysRingOut).Send(p, raw)
+				}
+				continue
+			}
+			if raw[0] != kindBackup {
+				continue
+			}
+			keyLen := int(binary.LittleEndian.Uint16(raw[1:3]))
+			if len(raw) < 3+keyLen {
+				continue
+			}
+			key := string(raw[3 : 3+keyLen])
+			data := raw[3+keyLen:]
+			mod.Disk.Write(p, key, data)
+		}
+	})
 }
 
 // BackupLastSnapshot streams this module's most recent snapshot over the

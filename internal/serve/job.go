@@ -53,8 +53,9 @@ type JobSpec struct {
 	// cache key, and the server may grant fewer workers than requested
 	// when the shared shard budget is exhausted (Options.ShardBudget) —
 	// the job degrades toward serial rather than queueing behind budget.
-	// Experiment jobs accept but ignore it: machine simulations run the
-	// serial plan (machine.PartitionPlan.Buildable).
+	// Machine simulations partition by geometry (one logical shard per
+	// module; machine.NewAuto) and take the knob as their host worker
+	// count, so results stay byte-identical at every value.
 	KernelShards int `json:"kernel_shards,omitempty"`
 }
 

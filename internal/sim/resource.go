@@ -97,6 +97,20 @@ func (r *Resource) Use(p *Proc, d Duration) {
 	p.Wait(d)
 }
 
+// UseFunc is Use with a grant hook: atGrant runs at the instant the unit
+// is acquired, before the hold time elapses. It lets a transaction
+// publish its outcome at grant time — e.g. stage a transfer whose
+// arrival is computed from the grant instant — while the resource still
+// models the occupancy. The release is deferred exactly like Use.
+func (r *Resource) UseFunc(p *Proc, d Duration, atGrant func()) {
+	r.Acquire(p)
+	defer r.Release()
+	if atGrant != nil {
+		atGrant()
+	}
+	p.Wait(d)
+}
+
 // BusyTime reports the integrated unit-time in use since the start of
 // the simulation: holding one of two units for 3 s and then both for
 // 1 s integrates to 5 s.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ShardGroup is a conservative parallel discrete-event scheduler: it
@@ -61,6 +62,16 @@ type ShardGroup struct {
 
 	winObs WindowObserver
 
+	// Pending Global calls, appended by shard processes mid-window and
+	// drained by the coordinator at each barrier. globalMu guards the
+	// slice (registrations race across worker goroutines); the seq
+	// counters are per-shard so the drain order — ascending post time,
+	// then shard, then per-shard sequence — is worker-invariant.
+	globalMu      sync.Mutex
+	globals       []globalCall
+	globalSeq     []int64
+	globalScratch []globalCall
+
 	// Worker pool state, live only during Run.
 	feed    chan windowJob
 	results chan windowResult
@@ -103,10 +114,11 @@ func NewShardGroup(n int) *ShardGroup {
 		panic("sim: shard group needs at least one shard")
 	}
 	g := &ShardGroup{
-		shards:  make([]*Kernel, n),
-		workers: 1,
-		stall:   make([]Duration, n),
-		staged:  make([]int64, n),
+		shards:    make([]*Kernel, n),
+		workers:   1,
+		stall:     make([]Duration, n),
+		staged:    make([]int64, n),
+		globalSeq: make([]int64, n),
 	}
 	for i := range g.shards {
 		g.shards[i] = NewKernel()
@@ -235,6 +247,131 @@ func (g *ShardGroup) Connect(src, dst int, name string, latency Duration, capaci
 	return x
 }
 
+// ConnectInto registers a cross-shard edge like Connect, but delivers
+// into an existing destination-shard channel instead of creating one:
+// staged values surface as ordinary receives on ch, so a component that
+// already owns an inbox (a link sublink, a supervisor alarm queue) can
+// be fed from another shard without changing its receive path. ch must
+// belong to shard dst.
+func (g *ShardGroup) ConnectInto(src, dst int, name string, latency Duration, ch *Chan) *XChan {
+	if src < 0 || src >= len(g.shards) || dst < 0 || dst >= len(g.shards) {
+		panic(fmt.Sprintf("sim: xchan %s connects shard %d→%d outside group of %d", name, src, dst, len(g.shards)))
+	}
+	if latency <= 0 {
+		panic("sim: xchan " + name + " needs a positive latency (it is the lookahead)")
+	}
+	if ch == nil || ch.k != g.shards[dst] {
+		panic("sim: xchan " + name + ": delivery channel must belong to the destination shard")
+	}
+	x := &XChan{g: g, src: src, dst: dst, latency: latency, inner: ch}
+	g.edges = append(g.edges, x)
+	if src != dst && (g.lookahead == 0 || latency < g.lookahead) {
+		g.lookahead = latency
+	}
+	return x
+}
+
+// globalCall is one registered Global section awaiting barrier
+// execution.
+type globalCall struct {
+	t     Time // post instant (the caller's clock at registration)
+	shard int
+	seq   int64
+	fn    func(at Time)
+	wake  *Chan // resumes the requester; nil when it resumes itself
+}
+
+// Global suspends p and runs fn at the next window barrier, with every
+// shard quiescent: fn executes exactly once, on the group's
+// coordinating goroutine, with safe read/write access to all shards'
+// state (kernels, processes, channels — anything a serial simulation
+// could touch). It is the escape hatch for rare global operations that
+// a per-shard decomposition cannot express — a supervisor walking every
+// module, a healer rewiring the topology — and it is deliberately
+// instantaneous in simulated time: fn receives the barrier instant and
+// may schedule timed work on any shard via Kernel.At/Go, but must not
+// block.
+//
+// p resumes at the barrier instant, strictly after fn returned. Barrier
+// instants are a pure function of the event timeline, so Global keeps
+// the worker-invariance contract: results do not depend on SetWorkers.
+// If p is killed before the barrier (for example by the fn of an
+// earlier Global in the same batch), fn still runs — a global decision
+// must not silently vanish with its requester.
+//
+// On a single-shard group fn runs inline at p's current instant: there
+// are no peers to quiesce, and a barrier may never come.
+func (g *ShardGroup) Global(p *Proc, fn func(at Time)) {
+	shard := -1
+	for i, k := range g.shards {
+		if k == p.k {
+			shard = i
+			break
+		}
+	}
+	if shard < 0 {
+		panic("sim: Global from a process outside the group")
+	}
+	if len(g.shards) == 1 {
+		fn(p.k.now)
+		return
+	}
+	wake := NewChan(p.k, "global/wake", 1)
+	g.globalMu.Lock()
+	g.globalSeq[shard]++
+	g.globals = append(g.globals, globalCall{
+		t: p.k.now, shard: shard, seq: g.globalSeq[shard], fn: fn, wake: wake,
+	})
+	g.globalMu.Unlock()
+	wake.Recv(p)
+}
+
+// runGlobals drains the pending Global calls at a barrier, running each
+// fn at instant `at` in the deterministic order (post time, shard,
+// per-shard sequence) and scheduling each requester's resume at `at`.
+// fns may register further Globals (they run at the next barrier, not
+// this one) and may kill requesters of later calls in the batch — the
+// batch was fixed when the barrier began.
+func (g *ShardGroup) runGlobals(at Time) {
+	g.globalMu.Lock()
+	batch := g.globals
+	g.globals = g.globalScratch[:0]
+	g.globalMu.Unlock()
+	if len(batch) == 0 {
+		g.globalScratch = batch
+		return
+	}
+	sort.SliceStable(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.seq < b.seq
+	})
+	for _, c := range batch {
+		c.fn(at)
+		if c.wake != nil {
+			wake := c.wake
+			g.shards[c.shard].atFuture(at, func() { wake.push(struct{}{}) }, nil)
+		}
+	}
+	for i := range batch {
+		batch[i] = globalCall{}
+	}
+	g.globalScratch = batch[:0]
+}
+
+// pendingGlobals reports whether any Global call awaits a barrier.
+func (g *ShardGroup) pendingGlobals() bool {
+	g.globalMu.Lock()
+	n := len(g.globals)
+	g.globalMu.Unlock()
+	return n > 0
+}
+
 // nextInstant scans the shards for the earliest pending event.
 func (g *ShardGroup) nextInstant() (Time, bool) {
 	var min Time
@@ -294,6 +431,15 @@ func (g *ShardGroup) Run(horizon Duration) Time {
 		}
 		nextT, any := g.nextInstant()
 		if !any {
+			if g.pendingGlobals() {
+				// Every queue is idle but Global sections await their
+				// barrier: this IS the barrier. Run them at the group
+				// clock; their wake events (and whatever the fns
+				// schedule) continue the loop.
+				g.advanceClocks(g.Now())
+				g.runGlobals(g.Now())
+				continue
+			}
 			procs := 0
 			for _, k := range g.shards {
 				procs += k.procs
@@ -326,6 +472,21 @@ func (g *ShardGroup) Run(horizon Duration) Time {
 		}
 		g.windows++
 		g.mergeStaged()
+		if g.pendingGlobals() {
+			at := wEnd
+			if at == maxTime {
+				at = g.Now()
+			}
+			// A Global fn may spawn processes on any shard, and a spawn
+			// begins at its kernel's own clock. An idle shard's clock
+			// trails the group (it only advances by executing events), so
+			// bring every shard to the barrier instant first — otherwise
+			// work spawned there would run in the group's past and its
+			// staged sends would break the lookahead bound. Safe because
+			// every event before the window end has already executed.
+			g.advanceClocks(at)
+			g.runGlobals(at)
+		}
 		if g.winObs != nil {
 			g.winObs.Window(g.windows, wEnd)
 		}
@@ -334,6 +495,15 @@ func (g *ShardGroup) Run(horizon Duration) Time {
 
 // maxTime is the unbounded window end.
 const maxTime = Time(1<<63 - 1)
+
+// advanceClocks brings every shard clock up to t (never backward).
+func (g *ShardGroup) advanceClocks(t Time) {
+	for _, k := range g.shards {
+		if k.now < t {
+			k.now = t
+		}
+	}
+}
 
 // runShardWindows executes one window on every shard that has work due
 // before wEnd, in parallel when workers allow, and accounts barrier
@@ -570,11 +740,25 @@ func (x *XChan) Send(p *Proc, v interface{}) {
 
 // Post stages v from source-shard kernel context (an At callback or a
 // router hook running on the source shard).
-func (x *XChan) Post(v interface{}) { x.post(v) }
+func (x *XChan) Post(v interface{}) { x.postAfter(v, x.latency) }
 
-func (x *XChan) post(v interface{}) {
+// PostDelayed stages v with an explicit transfer time d ≥ the edge
+// latency, for senders whose modelled delivery time varies with the
+// payload (a link frame's DMA startup plus per-byte wire time). The
+// registered latency remains the conservative floor that bounds the
+// group's windows; d only sets this value's arrival instant.
+func (x *XChan) PostDelayed(v interface{}, d Duration) {
+	if d < x.latency {
+		panic(fmt.Sprintf("sim: xchan %s: delay %v below the edge latency %v breaks the lookahead bound", x.Name(), d, x.latency))
+	}
+	x.postAfter(v, d)
+}
+
+func (x *XChan) post(v interface{}) { x.postAfter(v, x.latency) }
+
+func (x *XChan) postAfter(v interface{}, d Duration) {
 	src := x.g.shards[x.src]
-	at := src.now.Add(x.latency)
+	at := src.now.Add(d)
 	x.sent++
 	if x.src == x.dst {
 		// Degenerate local edge: no staging needed, but identical timing.

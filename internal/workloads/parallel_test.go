@@ -32,10 +32,11 @@ func reportBytes(t *testing.T, name string, cfg Config) []byte {
 // TestWorkloadsShardInvariant is the randomized property test of the
 // parallel-kernel contract: every registered workload, at random seeds,
 // must produce a byte-identical report at shard counts {1, 2, 3,
-// NumCPU}. Machine workloads satisfy it by conservative collapse (the
-// shared-network object graph is not partitionable, so they ignore the
-// knob); pring satisfies it the strong way — a fixed logical partition
-// executed by a varying number of physical workers.
+// NumCPU}. The partition is fixed by the workload's geometry, never by
+// the knob: pring shards per station, the machine workloads shard one
+// logical shard per module (serial at single-module dimensions like
+// this config's), and KernelShards picks only how many host workers
+// execute the fixed shard set.
 func TestWorkloadsShardInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260808))
 	counts := []int{1, 2, 3, runtime.NumCPU()}
@@ -97,6 +98,50 @@ func TestSoakChaosShardInvariant(t *testing.T) {
 	want := reportBytes(t, "soak", mkCfg(1))
 	if got := reportBytes(t, "soak", mkCfg(4)); string(got) != string(want) {
 		t.Errorf("chaos soak at shards=4 differs from serial\n  serial: %s\n  shards: %s", want, got)
+	}
+}
+
+// TestMachineRecoveryShardInvariantDim4 pins the partitioned-machine
+// E17 path: a dim-4 (two-module, genuinely sharded) recovery run with
+// wire corruption AND a mid-run crash — boot checkpoint, periodic
+// checkpoints, a full rollback-and-replay — must produce a
+// byte-identical report at every worker count.
+func TestMachineRecoveryShardInvariantDim4(t *testing.T) {
+	mkCfg := func(shards int) Config {
+		return Config{Dim: 4, Rows: 30, Phases: 6, Seed: 1,
+			Pad: 2 * sim.Second, Ckpt: 4 * sim.Second,
+			Faults: &fault.Plan{Seed: 7, BER: 1e-9, Events: []fault.Event{
+				{At: 12 * sim.Second, Kind: fault.Crash, Node: 5},
+			}},
+			KernelShards: shards}
+	}
+	want := reportBytes(t, "recovery", mkCfg(1))
+	for _, shards := range []int{2, 4} {
+		if got := reportBytes(t, "recovery", mkCfg(shards)); string(got) != string(want) {
+			t.Errorf("dim-4 recovery at shards=%d differs from workers=1\n  one: %s\n  got: %s", shards, want, got)
+		}
+	}
+}
+
+// TestMachineSoakChaosShardInvariantDim4 pins the partitioned-machine
+// E18 path: the dim-4 chaos soak — detector, healer remaps, rollbacks,
+// and the fault-free golden-twin fingerprint gate — must hold its gate
+// and produce a byte-identical report at every worker count.
+func TestMachineSoakChaosShardInvariantDim4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak twin run is slow")
+	}
+	mkCfg := func(shards int) Config {
+		return Config{Dim: 4, Reps: 2, Phases: 3, Rows: 30, Seed: 1,
+			Pad:          500 * sim.Millisecond,
+			Chaos:        &fault.Chaos{Seed: 11, Crashes: 1, Hangs: 1, BER: 1e-9},
+			KernelShards: shards}
+	}
+	want := reportBytes(t, "soak", mkCfg(1))
+	for _, shards := range []int{2, 4} {
+		if got := reportBytes(t, "soak", mkCfg(shards)); string(got) != string(want) {
+			t.Errorf("dim-4 chaos soak at shards=%d differs from workers=1\n  one: %s\n  got: %s", shards, want, got)
+		}
 	}
 }
 

@@ -98,8 +98,7 @@ func FaultTolerantSAXPY(ctx context.Context, dim, phases, rowsPerPhase int, phas
 	if phases < 1 || ftOutRowBase+phases > memory.NumRows {
 		return RecoveryResult{}, fmt.Errorf("workloads: phase count %d out of range", phases)
 	}
-	k := sim.NewKernelCtx(ctx)
-	m, err := machine.New(k, dim)
+	m, err := machine.NewAuto(ctx, dim, KernelShardsFrom(ctx))
 	if err != nil {
 		return RecoveryResult{}, err
 	}
@@ -114,13 +113,13 @@ func FaultTolerantSAXPY(ctx context.Context, dim, phases, rowsPerPhase int, phas
 	}
 
 	var runErr error
-	k.Go("ftsaxpy/supervise", func(p *sim.Proc) {
+	m.K.Go("ftsaxpy/supervise", func(p *sim.Proc) {
 		runErr = sv.Run(p, func(bp *sim.Proc, id int) error {
 			return ftBody(bp, m, sv, id, dim, phases, rowsPerPhase, phasePad, ckptInterval)
 		})
 	})
-	end := k.Run(0)
-	if err := k.Err(); err != nil {
+	end := m.Run(0)
+	if err := m.Err(); err != nil {
 		return RecoveryResult{}, err // canceled: results are partial
 	}
 	if runErr != nil {
@@ -136,7 +135,7 @@ func FaultTolerantSAXPY(ctx context.Context, dim, phases, rowsPerPhase int, phas
 		Checkpoints: m.Modules[0].SnapshotsTaken,
 		Recovery:    sv.LastRecovery,
 		Faults:      m.FaultReport(plan, sv),
-		Stats:       k.Stats(),
+		Stats:       m.SimStats(),
 	}
 	if dim > 0 {
 		res.PayloadBytes = int64(phases) * int64(len(m.Nodes)) * int64(memory.RowBytes)

@@ -41,11 +41,35 @@ type Config struct {
 	// hosting knob, not a model parameter: a workload's logical shard
 	// partition is fixed by its geometry (Dim), so its Report is
 	// byte-identical at every KernelShards value — 0 and 1 both mean
-	// serial. Workloads whose object graph cannot be partitioned (the
-	// machine workloads sharing one comm.Network; see
-	// machine.PartitionPlan.Buildable) conservatively ignore it and run
-	// on one kernel. Like Ctx it is excluded from result-cache keys.
+	// serial. The machine workloads build partitioned (one logical shard
+	// per module; see machine.NewAuto) whenever the geometry has more
+	// than one module, and map this knob onto the worker count that
+	// executes the fixed shard set. Like Ctx it is excluded from
+	// result-cache keys.
 	KernelShards int `json:"-"`
+}
+
+// kernelShardsKey carries the host-worker request through the context
+// a workload runs under, so nested builds (the soak golden twin, the
+// machine constructors) see the same hosting knob as the top-level run.
+type kernelShardsKey struct{}
+
+// WithKernelShards returns a context carrying a host-worker request
+// for any machine built under it.
+func WithKernelShards(ctx context.Context, n int) context.Context {
+	if n < 1 {
+		n = 1
+	}
+	return context.WithValue(ctx, kernelShardsKey{}, n)
+}
+
+// KernelShardsFrom extracts the host-worker request from ctx (1 when
+// absent).
+func KernelShardsFrom(ctx context.Context) int {
+	if n, ok := ctx.Value(kernelShardsKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return 1
 }
 
 // Workers resolves KernelShards to an effective worker count (≥ 1).
@@ -56,12 +80,18 @@ func (c Config) Workers() int {
 	return c.KernelShards
 }
 
-// Context returns the run-bounding context, never nil.
+// Context returns the run-bounding context, never nil. It carries the
+// KernelShards hosting knob so machine builds under it pick up the
+// requested worker count.
 func (c Config) Context() context.Context {
-	if c.Ctx != nil {
-		return c.Ctx
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return context.Background()
+	if c.KernelShards > 0 {
+		ctx = WithKernelShards(ctx, c.KernelShards)
+	}
+	return ctx
 }
 
 // DefaultConfig returns the values the tsim command starts from.

@@ -160,8 +160,7 @@ func Soak(ctx context.Context, params SoakParams) (SoakResult, error) {
 // golden twin).
 func soakRun(ctx context.Context, params SoakParams, plan *fault.Plan) (SoakResult, error) {
 	total := params.Epochs * params.PhasesPerEpoch
-	k := sim.NewKernelCtx(ctx)
-	m, err := machine.New(k, params.Dim)
+	m, err := machine.NewAuto(ctx, params.Dim, KernelShardsFrom(ctx))
 	if err != nil {
 		return SoakResult{}, err
 	}
@@ -193,7 +192,7 @@ func soakRun(ctx context.Context, params SoakParams, plan *fault.Plan) (SoakResu
 
 	var verifyErr error
 	var runErr error
-	k.Go("soak/supervise", func(p *sim.Proc) {
+	m.K.Go("soak/supervise", func(p *sim.Proc) {
 		runErr = h.Run(p, func(bp *sim.Proc, img int) error {
 			err := soakBody(bp, h, sv, img, imgs, pos, params, total)
 			if err != nil && verifyErr == nil {
@@ -202,8 +201,8 @@ func soakRun(ctx context.Context, params SoakParams, plan *fault.Plan) (SoakResu
 			return err
 		})
 	})
-	end := k.Run(0)
-	if err := k.Err(); err != nil {
+	end := m.Run(0)
+	if err := m.Err(); err != nil {
 		return SoakResult{}, err // canceled: results are partial
 	}
 	if runErr != nil {
@@ -211,7 +210,7 @@ func soakRun(ctx context.Context, params SoakParams, plan *fault.Plan) (SoakResu
 	}
 	_ = verifyErr
 
-	ks := k.Stats()
+	ks := m.SimStats()
 	res := SoakResult{
 		Images:       len(imgs),
 		Epochs:       params.Epochs,
