@@ -5,11 +5,20 @@
 //
 // Usage:
 //
-//	tsimd -addr :8097
+//	tsimd -addr :8097 -data-dir /var/lib/tsimd
 //	curl -s :8097/jobs -d '{"workload":"saxpy","flags":{"dim":"1","rows":"5"}}'
 //	curl -s :8097/jobs/j1
 //	curl -s :8097/jobs/j1/result
 //	curl -s :8097/stats
+//
+// With -data-dir, tsimd is crash-safe: every accepted job is fsync'd to
+// a write-ahead journal before the submission is acknowledged, and every
+// completed result lands in a checksummed on-disk store before the job
+// reports done. After a crash (even kill -9) the next start replays the
+// journal — completed jobs serve their stored bytes, interrupted jobs
+// re-run deterministically — and /readyz stays 503 until recovery
+// finishes. A journal with mid-file corruption refuses startup with an
+// error naming the bad segment; move it aside to discard that history.
 //
 // On SIGTERM the server stops admitting (new submissions get 503,
 // /readyz flips), finishes everything queued and running within the
@@ -43,18 +52,29 @@ func main() {
 	burst := fs.Float64("burst", 100, "per-tenant submission burst")
 	inflight := fs.Int("inflight", 32, "per-tenant queued+running ceiling")
 	shardBudget := fs.Int("shard-budget", 0, "pool-wide extra kernel-shard workers (0: 2x workers; negative disables sharding)")
+	dataDir := fs.String("data-dir", "", "crash-safety root: job journal + result store (empty: memory-only)")
+	segBytes := fs.Int64("journal-segment", 0, "journal segment rotation size in bytes (0: 1 MiB)")
 	fs.Parse(os.Args[1:])
 
-	srv := serve.New(serve.Options{
-		Queue:       *queue,
-		Workers:     *workers,
-		CacheCap:    *cache,
-		JobTimeout:  *timeout,
-		Rate:        *rate,
-		Burst:       *burst,
-		MaxInFlight: *inflight,
-		ShardBudget: *shardBudget,
+	srv, err := serve.Open(serve.Options{
+		Queue:        *queue,
+		Workers:      *workers,
+		CacheCap:     *cache,
+		JobTimeout:   *timeout,
+		Rate:         *rate,
+		Burst:        *burst,
+		MaxInFlight:  *inflight,
+		ShardBudget:  *shardBudget,
+		DataDir:      *dataDir,
+		SegmentBytes: *segBytes,
 	})
+	if err != nil {
+		// Typically a *durable.CorruptError: the journal holds mid-file
+		// damage that is not a torn tail. Refuse to serve rather than
+		// invent history; the message names the segment to repair or move.
+		fmt.Fprintln(os.Stderr, "tsimd:", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

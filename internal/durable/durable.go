@@ -1,0 +1,100 @@
+// Package durable gives the job service crash safety: an append-only,
+// fsync'd, CRC-checksummed write-ahead journal of job lifecycle
+// transitions, and a content-addressed on-disk result store with
+// atomic temp-then-rename writes. Together they let a server that is
+// killed with SIGKILL restart with zero lost accepted jobs and zero
+// lost completed results — interrupted jobs are replayed from their
+// journaled specs (deterministic runs make replay-from-start a correct
+// resume), completed jobs are served from the store.
+//
+// The failure philosophy splits by cause:
+//
+//   - A torn tail — the final record of the active segment cut short by
+//     a crash mid-write — is the expected shape of a SIGKILL and is
+//     silently ignored: everything fsync'd before it is intact, and
+//     nothing after it was ever acknowledged.
+//   - Mid-file corruption — a checksum mismatch, a bad magic, an
+//     impossible length anywhere history claims to be clean — means the
+//     disk lied, and recovery refuses to run with a typed
+//     *CorruptError naming the file and offset rather than silently
+//     inventing or dropping jobs.
+//   - A corrupt result-store entry is cheaper to lose: reads verify the
+//     checksum and treat a mismatch as a cache miss, quarantining the
+//     bad file so the deterministic re-run can repopulate the slot.
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Journal record ops: the job lifecycle transitions the service logs.
+// Accepted is written (and fsync'd) before a submission is
+// acknowledged; exactly the terminal ops end a job's replay interest.
+const (
+	OpAccepted = "accepted"
+	OpRunning  = "running"
+	OpDone     = "done"
+	OpFailed   = "failed"
+	OpTimeout  = "timeout"
+	OpCanceled = "canceled"
+	// opSeal marks a cleanly closed segment. Replay requires it at the
+	// end of every non-final segment, so a truncated middle segment is
+	// detected as corruption instead of passing as a torn tail.
+	opSeal = "seal"
+)
+
+// Record is one journal entry. Accepted records carry everything needed
+// to re-run the job after a crash (the original submission spec);
+// terminal records are self-contained too, so compaction can drop a
+// finished job's earlier records without losing its outcome.
+type Record struct {
+	Seq    uint64          `json:"seq"`
+	Op     string          `json:"op"`
+	Job    string          `json:"job,omitempty"`
+	Tenant string          `json:"tenant,omitempty"`
+	Key    string          `json:"key,omitempty"`  // canonical content key of the result
+	Spec   json.RawMessage `json:"spec,omitempty"` // original submission body
+	Err    string          `json:"err,omitempty"`  // failure detail on failed/timeout records
+}
+
+// Terminal reports whether op ends a job's lifecycle.
+func Terminal(op string) bool {
+	switch op {
+	case OpDone, OpFailed, OpTimeout, OpCanceled:
+		return true
+	}
+	return false
+}
+
+func validOp(op string) bool {
+	switch op {
+	case OpAccepted, OpRunning, OpDone, OpFailed, OpTimeout, OpCanceled, opSeal:
+		return true
+	}
+	return false
+}
+
+// CorruptError is mid-file journal corruption: history that should be
+// intact fails its checksum (or structure). Recovery refuses to proceed
+// past it — continuing would mean guessing at which jobs existed.
+type CorruptError struct {
+	Path   string // segment file
+	Offset int64  // byte offset of the bad record
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("durable: corrupt journal record in %s at offset %d: %s "+
+		"(not a torn tail; refusing to recover — repair or move the segment aside to discard its history)",
+		e.Path, e.Offset, e.Reason)
+}
+
+// Digest is the content address used for store filenames and public
+// result identifiers: hex SHA-256 of the canonical job key.
+func Digest(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,207 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzBase builds a known-good single-segment journal in dir and
+// returns its bytes plus the set of job ids it mentions.
+func fuzzBase(tb testing.TB) ([]byte, map[string]bool) {
+	tb.Helper()
+	dir := tb.TempDir()
+	j, _, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		rec := acceptedRec(i)
+		ids[rec.Job] = true
+		if err := j.Append(rec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := j.Append(Record{Op: OpDone, Job: "j0"}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpFailed, Job: "j1", Err: "x"}); err != nil {
+		tb.Fatal(err)
+	}
+	// No Close: leave the segment in active (unsealed) shape, as a
+	// SIGKILL would.
+	segs := listSegments(tb, dir)
+	data, err := os.ReadFile(segs[len(segs)-1])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data, ids
+}
+
+func replayBytes(tb testing.TB, data []byte) (*Replayed, error) {
+	tb.Helper()
+	dir := tb.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	rep, _, err := replayDir(dir)
+	return rep, err
+}
+
+// frameOffsets returns the byte offset of each frame in a segment.
+func frameOffsets(data []byte) []int {
+	var offs []int
+	off := len(segMagic)
+	for off+frameHeader <= len(data) {
+		offs = append(offs, off)
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		if n <= 0 || off+frameHeader+n > len(data) {
+			break
+		}
+		off += frameHeader + n
+	}
+	return offs
+}
+
+// FuzzJournalReplay fuzzes the journal decoder with truncated,
+// bit-flipped, duplicated, and arbitrary segment bytes. The contract:
+// replay never panics, never invents a job that the clean journal did
+// not contain, returns either nil or a typed *CorruptError — and a pure
+// truncation (the torn-tail shape) is never an error at all.
+func FuzzJournalReplay(f *testing.F) {
+	base, baseIDs := fuzzBase(f)
+	f.Add(uint8(0), uint32(0), base)
+	f.Add(uint8(1), uint32(uint32(len(base)/2)), base)
+	f.Add(uint8(2), uint32(100), base)
+	f.Add(uint8(3), uint32(1), base)
+	f.Add(uint8(0), uint32(0), []byte("TSIMWAL1garbage"))
+	f.Add(uint8(0), uint32(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, mode uint8, pos uint32, raw []byte) {
+		var data []byte
+		fromBase := false
+		switch mode % 4 {
+		case 0: // arbitrary bytes straight from the fuzzer
+			data = raw
+		case 1: // truncation of the clean journal
+			fromBase = true
+			data = base[:int(pos)%(len(base)+1)]
+		case 2: // single bit flip in the clean journal
+			fromBase = true
+			data = append([]byte(nil), base...)
+			if len(data) > 0 {
+				i := int(pos) % len(data)
+				data[i] ^= 1 << (pos % 8)
+			}
+		case 3: // duplicate one whole frame
+			fromBase = true
+			offs := frameOffsets(base)
+			if len(offs) == 0 {
+				return
+			}
+			k := int(pos) % len(offs)
+			start := offs[k]
+			end := len(base)
+			if k+1 < len(offs) {
+				end = offs[k+1]
+			}
+			data = append([]byte(nil), base...)
+			data = append(data, base[start:end]...)
+		}
+
+		rep, err := replayBytes(t, data) // must never panic
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("replay error is not a *CorruptError: %v", err)
+			}
+			if mode%4 == 1 {
+				t.Fatalf("pure truncation at %d reported corruption: %v", pos, err)
+			}
+			return
+		}
+		if !fromBase {
+			return // arbitrary bytes: no-panic + typed-error is the whole contract
+		}
+		// Any surviving jobs must come from the clean journal: a mutation
+		// can hide records (torn tail) but never invent one — CRC-32
+		// catches every single-bit flip, so a damaged record can only be
+		// rejected, not misread.
+		for _, rec := range append(append([]Record(nil), rep.Pending...), rep.Terminal...) {
+			if !baseIDs[rec.Job] {
+				t.Fatalf("replay invented job %q (mode %d pos %d)", rec.Job, mode%4, pos)
+			}
+		}
+		if mode%4 == 3 && (len(rep.Pending)+len(rep.Terminal)) > len(baseIDs) {
+			t.Fatalf("duplicated frame double-counted: %d pending + %d terminal > %d jobs",
+				len(rep.Pending), len(rep.Terminal), len(baseIDs))
+		}
+	})
+}
+
+// TestJournalReplayDuplicateRecordsIdempotent pins the duplication
+// semantics outside the fuzzer: replaying every frame twice yields the
+// same job table as replaying once.
+func TestJournalReplayDuplicateRecordsIdempotent(t *testing.T) {
+	base, _ := fuzzBase(t)
+	offs := frameOffsets(base)
+	doubled := append([]byte(nil), base[:len(segMagic)]...)
+	for i, start := range offs {
+		end := len(base)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		doubled = append(doubled, base[start:end]...)
+		doubled = append(doubled, base[start:end]...)
+	}
+	once, err := replayBytes(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := replayBytes(t, doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobIDs(once.Pending) != jobIDs(twice.Pending) || jobIDs(once.Terminal) != jobIDs(twice.Terminal) {
+		t.Fatalf("duplication changed the job table:\nonce: %s | %s\ntwice: %s | %s",
+			jobIDs(once.Pending), jobIDs(once.Terminal), jobIDs(twice.Pending), jobIDs(twice.Terminal))
+	}
+}
+
+// TestFuzzSeedContract sanity-checks the seed corpus inline so a
+// regression shows up in plain `go test`, not only under fuzzing.
+func TestFuzzSeedContract(t *testing.T) {
+	base, baseIDs := fuzzBase(t)
+	// Clean replay: everything present.
+	rep, err := replayBytes(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Pending) + len(rep.Terminal); got != len(baseIDs) {
+		t.Fatalf("clean replay found %d jobs, want %d", got, len(baseIDs))
+	}
+	// Every truncation point: never an error, never an invented job.
+	for cut := 0; cut <= len(base); cut++ {
+		rep, err := replayBytes(t, base[:cut])
+		if err != nil {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+		for _, rec := range append(append([]Record(nil), rep.Pending...), rep.Terminal...) {
+			if !baseIDs[rec.Job] {
+				t.Fatalf("truncation at %d invented job %q", cut, rec.Job)
+			}
+		}
+	}
+	// Every single-bit flip: nil (tail-shaped damage) or *CorruptError.
+	for i := len(segMagic); i < len(base); i++ {
+		data := append([]byte(nil), base...)
+		data[i] ^= 0x10
+		_, err := replayBytes(t, data)
+		var ce *CorruptError
+		if err != nil && !errors.As(err, &ce) {
+			t.Fatalf("flip at %d: untyped error %v", i, err)
+		}
+	}
+}

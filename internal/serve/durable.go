@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tseries/internal/durable"
+)
+
+// durability is the server's crash-safety machinery: the write-ahead
+// job journal and the on-disk result store behind the in-memory LRU,
+// plus the recovery and degraded-mode state. nil when the server runs
+// memory-only (no Options.DataDir).
+type durability struct {
+	journal *durable.Journal
+	store   *durable.Store
+
+	// degraded flips (one way) on the first disk failure: the server
+	// keeps serving from memory with a logged warning and a /stats flag
+	// instead of crashing. reason records what broke.
+	degraded atomic.Bool
+	reason   atomic.Value // string
+
+	// ready flips once every job recovered from the journal has reached
+	// a terminal state; /readyz reports 503 until then.
+	ready           atomic.Bool
+	recoveryStart   time.Time
+	recoveryNs      atomic.Int64
+	recoveredJobs   int64 // jobs re-registered from the journal (terminal + re-run)
+	recoveryPending atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// degrade flips the service to in-memory mode after a disk failure.
+// One-way and idempotent; only the first failure is logged.
+func (s *Server) degrade(op string, err error) {
+	if s.dur == nil {
+		return
+	}
+	if s.dur.degraded.CompareAndSwap(false, true) {
+		s.dur.reason.Store(op + ": " + err.Error())
+		s.opts.Logf("serve: durability degraded to in-memory mode (%s: %v); "+
+			"accepted jobs and results are no longer crash-safe", op, err)
+	}
+}
+
+// journalSync appends rec with an fsync; the record survives SIGKILL
+// once this returns. Disk trouble degrades instead of failing the job.
+func (s *Server) journalSync(rec durable.Record) {
+	if s.dur == nil || s.dur.degraded.Load() {
+		return
+	}
+	if err := s.dur.journal.Append(rec); err != nil {
+		s.degrade("journal append", err)
+	}
+}
+
+// journalLazy appends rec without forcing an fsync — for records whose
+// loss merely replays a deterministic job (running marks, cache-hit
+// aliases, non-done terminals).
+func (s *Server) journalLazy(rec durable.Record) {
+	if s.dur == nil || s.dur.degraded.Load() {
+		return
+	}
+	if err := s.dur.journal.AppendLazy(rec); err != nil {
+		s.degrade("journal append", err)
+	}
+}
+
+// storePut persists a completed result durably.
+func (s *Server) storePut(key string, body []byte) {
+	if s.dur == nil || s.dur.degraded.Load() {
+		return
+	}
+	if err := s.dur.store.Put(key, body); err != nil {
+		s.degrade("store put", err)
+	}
+}
+
+// lookupResult is the two-tier result lookup: in-memory LRU first,
+// then the on-disk store (a disk hit repopulates the LRU). Store
+// corruption reads as a miss — the deterministic re-run repopulates.
+func (s *Server) lookupResult(key string) ([]byte, bool) {
+	if body, ok := s.cache.get(key); ok {
+		return body, true
+	}
+	if s.dur != nil {
+		if body, ok := s.dur.store.Get(key); ok {
+			s.cache.put(key, body)
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+// openDurable replays the data dir into the freshly constructed server:
+// completed jobs are re-registered against the store, interrupted jobs
+// are resolved from their journaled specs and re-queued for a
+// deterministic re-run. It returns the jobs to requeue; the caller
+// enqueues them after sizing the queue. A *durable.CorruptError aborts
+// startup — mid-file journal corruption must be looked at, not papered
+// over.
+func (s *Server) openDurable() (requeue []*job, err error) {
+	dir := s.opts.DataDir
+	store, err := durable.OpenStore(filepath.Join(dir, "store"), s.opts.DiskFaults)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open result store: %w", err)
+	}
+	jnl, rep, err := durable.OpenJournal(filepath.Join(dir, "journal"), durable.JournalOptions{
+		SegmentBytes: s.opts.SegmentBytes,
+		Faults:       s.opts.DiskFaults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: recover job journal: %w", err)
+	}
+	s.dur = &durability{journal: jnl, store: store, recoveryStart: s.opts.Now()}
+	if rep.TornTail {
+		s.opts.Logf("serve: journal ended in a torn record (crash mid-write); clean prefix recovered")
+	}
+
+	// Terminal jobs: re-register so their ids keep answering. A done job
+	// whose stored result is missing or corrupt (quarantined on read)
+	// falls back to a deterministic re-run when its spec still resolves.
+	for _, rec := range rep.Terminal {
+		j := s.recoveredJob(rec)
+		if rec.Op == durable.OpDone {
+			if _, ok := store.Get(rec.Key); ok {
+				j.state = StateDone
+			} else if j.task.kind != "" {
+				requeue = append(requeue, j)
+				continue
+			} else {
+				j.state = StateFailed
+				j.errMsg = "recovered result lost and spec no longer resolvable"
+			}
+		} else {
+			j.state = map[string]string{
+				durable.OpFailed:   StateFailed,
+				durable.OpTimeout:  StateTimeout,
+				durable.OpCanceled: StateCanceled,
+			}[rec.Op]
+			j.errMsg = rec.Err
+		}
+		j.finished = s.dur.recoveryStart
+		s.jobs[j.id] = j
+	}
+
+	// Interrupted jobs: accepted (possibly running) when the process
+	// died. Determinism makes replay-from-start a correct resume.
+	for _, rec := range rep.Pending {
+		j := s.recoveredJob(rec)
+		if j.task.kind == "" {
+			j.state = StateFailed
+			j.errMsg = "recovered job spec no longer resolvable: " + j.errMsg
+			s.jobs[j.id] = j
+			s.journalLazy(durable.Record{Op: durable.OpFailed, Job: j.id, Err: j.errMsg})
+			continue
+		}
+		requeue = append(requeue, j)
+	}
+	for _, j := range requeue {
+		j.state = StateQueued
+		s.jobs[j.id] = j
+		s.active[j.task.key] = j
+	}
+	s.dur.recoveredJobs = int64(len(rep.Terminal) + len(rep.Pending))
+	s.dur.recoveryPending.Store(int64(len(requeue)))
+	if len(requeue) == 0 {
+		s.finishRecovery()
+	}
+	return requeue, nil
+}
+
+// recoveredJob rebuilds a job shell from a journal record, resolving
+// the original spec against the current registries when possible. An
+// unresolvable spec leaves task.kind empty (errMsg says why) — the
+// caller decides whether that matters.
+func (s *Server) recoveredJob(rec durable.Record) *job {
+	j := &job{
+		id:        rec.Job,
+		tenant:    rec.Tenant,
+		recovered: true,
+		spec:      rec.Spec,
+		submitted: s.dur.recoveryStart,
+		task:      task{key: rec.Key},
+	}
+	if n := jobNum(rec.Job); n > s.seq {
+		s.seq = n
+	}
+	spec, apiErr := ParseJobSpec(rec.Spec)
+	if apiErr != nil {
+		j.errMsg = apiErr.Msg
+		return j
+	}
+	t, apiErr := s.resolve(spec)
+	if apiErr != nil {
+		j.errMsg = apiErr.Msg
+		return j
+	}
+	if rec.Key != "" && t.key != rec.Key {
+		// The registries changed meaning under us (same name, different
+		// knobs): re-running would compute something else. Keep the shell
+		// unresolved rather than serve the wrong result under an old id.
+		j.errMsg = fmt.Sprintf("content key drifted (journal %q vs resolved %q)", rec.Key, t.key)
+		return j
+	}
+	j.task = t
+	return j
+}
+
+// jobNum extracts the numeric suffix of a "jN" job id (0 if foreign).
+func jobNum(id string) int {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// finishRecovery marks recovery complete and stamps its duration.
+func (s *Server) finishRecovery() {
+	if s.dur.ready.CompareAndSwap(false, true) {
+		s.dur.recoveryNs.Store(int64(s.opts.Now().Sub(s.dur.recoveryStart)))
+	}
+}
+
+// noteRecovered is called from finish() for each recovered job that
+// reaches a terminal state; the last one completes recovery.
+func (s *Server) noteRecovered() {
+	if s.dur.recoveryPending.Add(-1) == 0 {
+		s.finishRecovery()
+	}
+}
+
+// Ready reports whether the server should receive traffic: not
+// draining, and (when durable) recovery complete.
+func (s *Server) Ready() bool {
+	if s.Draining() {
+		return false
+	}
+	return s.dur == nil || s.dur.ready.Load()
+}
+
+// closeDurable seals the journal after the worker pool is idle. Safe to
+// call more than once.
+func (s *Server) closeDurable() {
+	if s.dur == nil {
+		return
+	}
+	s.dur.closeOnce.Do(func() {
+		if err := s.dur.journal.Close(); err != nil && !s.dur.degraded.Load() {
+			s.opts.Logf("serve: journal close: %v", err)
+		}
+	})
+}
+
+// marshalSpec canonicalises a submission for the journal. The JobSpec
+// round-trips losslessly, so replaying the marshaled form resolves to
+// the same task and content key.
+func marshalSpec(spec *JobSpec) json.RawMessage {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil // unreachable: JobSpec has no unmarshalable fields
+	}
+	return b
+}

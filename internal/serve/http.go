@@ -60,8 +60,8 @@ func (s *Server) status(j *job) JobStatus {
 //	GET  /jobs/{id}        job lifecycle status
 //	GET  /jobs/{id}/result raw result body of a done job (byte-identical to tsim -json)
 //	GET  /healthz          liveness: always 200 while the process serves
-//	GET  /readyz           readiness: 503 once draining
-//	GET  /stats            admission, execution, and cache counters
+//	GET  /readyz           readiness: 503 while recovering the journal or once draining
+//	GET  /stats            admission, execution, cache, and durability counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -74,6 +74,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if !s.Ready() {
+			// Still re-running jobs recovered from the journal: the jobs
+			// API answers (recovered ids resolve) but load balancers should
+			// hold new traffic until the backlog clears.
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -145,12 +152,22 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	state, body := j.state, j.body
+	state, body, key := j.state, j.body, j.task.key
 	s.mu.Unlock()
 	if state != StateDone {
 		writeAPIError(w, &APIError{Status: http.StatusConflict, Code: "not_done",
 			Msg: "job " + j.id + " is " + state})
 		return
+	}
+	if body == nil {
+		// A job recovered as done carries no body in memory — the result
+		// lives in the durable store (and warms the LRU on first read).
+		var ok bool
+		if body, ok = s.lookupResult(key); !ok {
+			writeAPIError(w, &APIError{Status: http.StatusGone, Code: "result_lost",
+				Msg: "job " + j.id + " completed but its stored result is gone; resubmit to recompute"})
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
@@ -190,6 +207,28 @@ type Stats struct {
 	SimEvents     int64 `json:"sim_events"`
 	SimWindows    int64 `json:"sim_windows"`
 	SimCrossShard int64 `json:"sim_cross_shard"`
+
+	// Durability: present (meaningful) only when the server runs with a
+	// data dir. Degraded means a disk failure flipped the service to
+	// in-memory mode — it keeps serving, but accepted jobs and results no
+	// longer survive a crash.
+	Durable        bool   `json:"durable"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Recovering     bool   `json:"recovering,omitempty"`
+	RecoveredJobs  int64  `json:"recovered_jobs,omitempty"`
+	RecoveryNs     int64  `json:"recovery_ns,omitempty"`
+
+	JournalSegments    int   `json:"journal_segments,omitempty"`
+	JournalBytes       int64 `json:"journal_bytes,omitempty"`
+	JournalAppends     int64 `json:"journal_appends,omitempty"`
+	JournalCompactions int64 `json:"journal_compactions,omitempty"`
+	LastFsyncNs        int64 `json:"last_fsync_ns,omitempty"`
+
+	StoreHits        int64 `json:"store_hits,omitempty"`
+	StoreMisses      int64 `json:"store_misses,omitempty"`
+	StorePuts        int64 `json:"store_puts,omitempty"`
+	StoreCorruptions int64 `json:"store_corruptions,omitempty"`
 }
 
 // Snapshot returns the current counters.
@@ -197,7 +236,7 @@ func (s *Server) Snapshot() Stats {
 	s.shardMu.Lock()
 	inUse := s.shardInUse
 	s.shardMu.Unlock()
-	return Stats{
+	st := Stats{
 		ShardBudget:       s.opts.ShardBudget,
 		ShardInUse:        inUse,
 		ShardDegraded:     s.ctr.shardDegraded.Load(),
@@ -222,6 +261,28 @@ func (s *Server) Snapshot() Stats {
 		QueueDepth:        len(s.queue),
 		Draining:          s.Draining(),
 	}
+	if d := s.dur; d != nil {
+		st.Durable = true
+		st.Degraded = d.degraded.Load()
+		if r, _ := d.reason.Load().(string); r != "" {
+			st.DegradedReason = r
+		}
+		st.Recovering = !d.ready.Load()
+		st.RecoveredJobs = d.recoveredJobs
+		st.RecoveryNs = d.recoveryNs.Load()
+		js := d.journal.Stats()
+		st.JournalSegments = js.Segments
+		st.JournalBytes = js.Bytes
+		st.JournalAppends = js.Appends
+		st.JournalCompactions = js.Compactions
+		st.LastFsyncNs = int64(js.LastFsync)
+		ss := d.store.Stats()
+		st.StoreHits = ss.Hits
+		st.StoreMisses = ss.Misses
+		st.StorePuts = ss.Puts
+		st.StoreCorruptions = ss.Corruptions
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
 	"runtime/debug"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"tseries/internal/core"
+	"tseries/internal/durable"
 	"tseries/internal/workloads"
 )
 
@@ -59,6 +61,23 @@ type Options struct {
 	MaxInFlight int           // per-tenant queued+running ceiling (default 32)
 	RetryMax    int           // retries for transient failures (default 3)
 	RetryBase   time.Duration // backoff base, doubled per attempt (default 25ms)
+
+	// DataDir roots the server's crash-safety state: a write-ahead job
+	// journal under <DataDir>/journal and a content-addressed result
+	// store under <DataDir>/store. Empty (the default) runs memory-only:
+	// a crash loses queued jobs and uncached results. With a data dir,
+	// accepted jobs and completed results survive SIGKILL — Open replays
+	// the journal on startup, re-running interrupted jobs and serving
+	// completed ones from the store.
+	DataDir string
+	// SegmentBytes rotates journal segments past this size (default 1 MiB).
+	SegmentBytes int64
+	// DiskFaults injects planned host-disk failures into the durable
+	// layer (tests of the degrade-to-memory path). Nil in production.
+	DiskFaults *durable.DiskFaults
+	// Logf receives operational warnings (durability degradation,
+	// recovery notes). Defaults to log.Printf.
+	Logf func(format string, args ...interface{})
 
 	// ShardBudget bounds the extra kernel-shard workers live across the
 	// whole pool (default 2×Workers; <0 disables sharding entirely).
@@ -125,14 +144,20 @@ func (o Options) withDefaults() Options {
 	if o.Now == nil {
 		o.Now = time.Now
 	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
 	return o
 }
 
 // job is one admitted submission.
 type job struct {
-	id     string
-	tenant string
-	task   task
+	id        string
+	tenant    string
+	task      task
+	recovered bool            // re-registered from the journal after a restart
+	charged   bool            // holds a limiter in-flight slot (released in finish)
+	spec      json.RawMessage // canonical submission body, journaled for replay
 
 	// Guarded by Server.mu.
 	state     string
@@ -177,6 +202,7 @@ type Server struct {
 	limiter *limiter
 	cache   *resultCache
 	ctr     counters
+	dur     *durability // nil when memory-only (no Options.DataDir)
 
 	baseCtx    context.Context // parent of every job context; canceled by a forced drain
 	cancelBase context.CancelFunc
@@ -232,8 +258,26 @@ func (s *Server) releaseShards(got int) {
 	s.shardMu.Unlock()
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a memory-only Server and starts its worker pool. For a
+// crash-safe server with a data dir use Open, which can fail (a corrupt
+// journal refuses recovery).
 func New(opts Options) *Server {
+	opts.DataDir = ""
+	s, err := Open(opts)
+	if err != nil {
+		panic("serve: memory-only New failed: " + err.Error()) // unreachable: only DataDir paths error
+	}
+	return s
+}
+
+// Open builds a Server and starts its worker pool. With Options.DataDir
+// set it first recovers the previous process's state: the job journal
+// is replayed (completed jobs re-registered against the result store,
+// interrupted jobs re-queued for a deterministic re-run) and /readyz
+// stays unready until every recovered job reaches a terminal state.
+// Mid-file journal corruption aborts with a *durable.CorruptError in
+// the chain — by design Open refuses to serve from lying history.
+func Open(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -242,15 +286,28 @@ func New(opts Options) *Server {
 		cache:      newResultCache(opts.CacheCap),
 		baseCtx:    ctx,
 		cancelBase: cancel,
-		queue:      make(chan *job, opts.Queue),
 		jobs:       map[string]*job{},
 		active:     map[string]*job{},
+	}
+	var requeue []*job
+	if opts.DataDir != "" {
+		var err error
+		if requeue, err = s.openDurable(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	// Recovered jobs ride ahead of new admissions and must all fit: the
+	// queue is sized for them on top of the configured capacity.
+	s.queue = make(chan *job, opts.Queue+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // resolve turns a parsed spec into a runnable task using the
@@ -315,8 +372,9 @@ func (s *Server) Submit(spec *JobSpec) (j *job, fresh bool, apiErr *APIError) {
 
 	// Cache: a deterministic run's result is fully determined by its
 	// key, so a hit is complete immediately — same bytes a worker would
-	// have produced.
-	if body, hit := s.cache.get(t.key); hit {
+	// have produced. The lookup is two-tier: in-memory LRU, then the
+	// on-disk store (which survives restarts and LRU eviction).
+	if body, hit := s.lookupResult(t.key); hit {
 		s.limiter.done(spec.Tenant)
 		s.ctr.cacheHits.Add(1)
 		s.mu.Lock()
@@ -336,6 +394,10 @@ func (s *Server) Submit(spec *JobSpec) (j *job, fresh bool, apiErr *APIError) {
 		s.mu.Unlock()
 		s.ctr.admitted.Add(1)
 		s.ctr.completed.Add(1)
+		// Journal the alias lazily: losing it merely forgets the job id,
+		// never the result (that is already in the store).
+		s.journalLazy(durable.Record{Op: durable.OpDone, Job: j.id,
+			Tenant: j.tenant, Key: t.key, Spec: marshalSpec(spec)})
 		return j, false, nil
 	}
 	s.ctr.cacheMisses.Add(1)
@@ -355,23 +417,37 @@ func (s *Server) Submit(spec *JobSpec) (j *job, fresh bool, apiErr *APIError) {
 		id:        "j" + strconv.Itoa(s.seq),
 		tenant:    spec.Tenant,
 		task:      t,
+		charged:   true,
+		spec:      marshalSpec(spec),
 		state:     StateQueued,
 		submitted: now,
 	}
 	s.jobs[j.id] = j
 	s.active[t.key] = j
 	s.mu.Unlock()
+	// Journal-then-ack: the accepted record is fsync'd before the job is
+	// enqueued (and so before the caller learns it exists) — an
+	// acknowledged job survives SIGKILL, and no later lifecycle record
+	// can precede its accepted record in the log. Disk trouble degrades
+	// to memory-only instead of rejecting the job.
+	s.journalSync(durable.Record{Op: durable.OpAccepted, Job: j.id,
+		Tenant: j.tenant, Key: t.key, Spec: j.spec})
 	select {
 	case s.queue <- j:
 		s.ctr.admitted.Add(1)
 		return j, true, nil
 	default:
-		// Queue full: roll the admission back completely so the
-		// rejected submission leaves no residue.
+		// Queue full: roll the admission back completely so the rejected
+		// submission leaves no residue. The journaled accepted record is
+		// retired with a canceled mark; if a crash beats that append, the
+		// replayed re-run is merely harmless extra work — the caller was
+		// told "rejected" and never got this job id.
 		s.mu.Lock()
 		delete(s.active, t.key)
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
+		s.journalLazy(durable.Record{Op: durable.OpCanceled, Job: j.id,
+			Err: "rolled back: queue full"})
 		s.limiter.done(spec.Tenant)
 		s.ctr.rejectedQueueFull.Add(1)
 		return nil, false, &APIError{Status: http.StatusTooManyRequests, Code: "queue_full",
@@ -410,6 +486,9 @@ func (s *Server) runJob(j *job) {
 	j.state = StateRunning
 	j.started = now
 	s.mu.Unlock()
+	// A lost running mark is harmless — replay re-runs the job from its
+	// accepted record either way — so it does not pay for an fsync.
+	s.journalLazy(durable.Record{Op: durable.OpRunning, Job: j.id})
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
 	defer cancel()
@@ -509,32 +588,54 @@ func encodeBody(v interface{}) ([]byte, error) {
 
 // finish records a job's terminal state and releases its admission
 // residue: the single-flight slot and the tenant's in-flight slot.
+// For a completed job the result is made durable — store write, then
+// fsync'd journal record — *before* the done state becomes visible, so
+// a crash can only ever leave the job looking interrupted (and thus
+// re-run to the same bytes), never done-but-lost.
 func (s *Server) finish(j *job, body []byte, err error, ctx context.Context) {
+	var state, errMsg, stack string
+	switch {
+	case err == nil:
+		state = StateDone
+	case s.baseCtx.Err() != nil && errors.Is(err, context.Canceled):
+		state, errMsg = StateCanceled, "canceled by server drain"
+	case ctx.Err() != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+		state, errMsg = StateTimeout, fmt.Sprintf("deadline %s exceeded", s.opts.JobTimeout)
+	default:
+		state, errMsg = StateFailed, err.Error()
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			stack = pe.Stack
+		}
+	}
+	switch state {
+	case StateDone:
+		s.storePut(j.task.key, body)
+		s.journalSync(durable.Record{Op: durable.OpDone, Job: j.id, Key: j.task.key})
+	case StateFailed:
+		s.journalLazy(durable.Record{Op: durable.OpFailed, Job: j.id, Err: errMsg})
+	case StateTimeout:
+		s.journalLazy(durable.Record{Op: durable.OpTimeout, Job: j.id, Err: errMsg})
+	case StateCanceled:
+		// A drain-canceled job is terminal for *this* process's clients,
+		// but after a kill -9 the same shape replays as interrupted and
+		// re-runs — both are correct; the record just keeps a graceful
+		// restart from re-running work nobody is waiting for.
+		s.journalLazy(durable.Record{Op: durable.OpCanceled, Job: j.id, Err: errMsg})
+	}
+
 	now := s.opts.Now()
 	s.mu.Lock()
 	j.finished = now
-	switch {
-	case err == nil:
-		j.state = StateDone
+	j.state = state
+	j.errMsg = errMsg
+	j.stack = stack
+	if state == StateDone {
 		j.body = body
-	case s.baseCtx.Err() != nil && errors.Is(err, context.Canceled):
-		j.state = StateCanceled
-		j.errMsg = "canceled by server drain"
-	case ctx.Err() != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
-		j.state = StateTimeout
-		j.errMsg = fmt.Sprintf("deadline %s exceeded", s.opts.JobTimeout)
-	default:
-		j.state = StateFailed
-		j.errMsg = err.Error()
-		var pe *PanicError
-		if errors.As(err, &pe) {
-			j.stack = pe.Stack
-		}
 	}
 	if s.active[j.task.key] == j {
 		delete(s.active, j.task.key)
 	}
-	state := j.state
 	s.mu.Unlock()
 
 	switch state {
@@ -548,7 +649,12 @@ func (s *Server) finish(j *job, body []byte, err error, ctx context.Context) {
 	default:
 		s.ctr.failed.Add(1)
 	}
-	s.limiter.done(j.tenant)
+	if j.charged {
+		s.limiter.done(j.tenant)
+	}
+	if j.recovered && s.dur != nil {
+		s.noteRecovered()
+	}
 }
 
 // Draining reports whether the server has stopped admitting jobs.
@@ -570,6 +676,7 @@ func (s *Server) Drain(deadline time.Duration) error {
 		s.admitMu.Unlock()
 		// A second Drain just waits for the first to finish the pool.
 		s.workerWG.Wait()
+		s.closeDurable()
 		return nil
 	}
 	s.draining = true
@@ -583,10 +690,12 @@ func (s *Server) Drain(deadline time.Duration) error {
 	}()
 	select {
 	case <-idle:
+		s.closeDurable()
 		return nil
 	case <-time.After(deadline):
 		s.cancelBase()
 		<-idle
+		s.closeDurable()
 		return fmt.Errorf("serve: drain deadline %s exceeded; in-flight jobs canceled", deadline)
 	}
 }
