@@ -302,3 +302,46 @@ func TestExperimentSubsetRunsInRequestedOrder(t *testing.T) {
 		t.Fatalf("expected E7 before E1:\n%s", stdout)
 	}
 }
+
+// TestPreSparseGoldenPreserved pins the compatibility contract of the
+// sparse-memory / dedup-disk rewrite: every experiment recorded in the
+// golden BEFORE node memory went sparse (archived as
+// experiment_all_pre_sparse.json) must still appear byte-for-byte in
+// today's golden. Sparsity is a host-representation change only — every
+// simulated time, counter, and fault fingerprint must survive it.
+func TestPreSparseGoldenPreserved(t *testing.T) {
+	load := func(name string) map[string]json.RawMessage {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		var results []json.RawMessage
+		if err := json.Unmarshal(raw, &results); err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		out := map[string]json.RawMessage{}
+		for _, r := range results {
+			var id struct{ ID string }
+			if err := json.Unmarshal(r, &id); err != nil {
+				t.Fatalf("parsing %s entry: %v", name, err)
+			}
+			out[id.ID] = r
+		}
+		return out
+	}
+	pre := load("experiment_all_pre_sparse.json")
+	cur := load("experiment_all_golden.json")
+	if len(pre) == 0 {
+		t.Fatal("pre-sparse golden is empty")
+	}
+	for id, want := range pre {
+		got, ok := cur[id]
+		if !ok {
+			t.Errorf("experiment %s vanished from the current golden", id)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("experiment %s drifted from its pre-sparse output", id)
+		}
+	}
+}

@@ -11,6 +11,9 @@
 //	curl -s :8097/jobs/j1/result
 //	curl -s :8097/stats
 //
+// With -pprof N, net/http/pprof is served on 127.0.0.1:N (loopback
+// only, separate listener) for live CPU/heap profiling of long runs.
+//
 // With -data-dir, tsimd is crash-safe: every accepted job is fsync'd to
 // a write-ahead journal before the submission is acknowledged, and every
 // completed result lands in a checksummed on-disk store before the job
@@ -32,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers for the -pprof loopback listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,7 +58,20 @@ func main() {
 	shardBudget := fs.Int("shard-budget", 0, "pool-wide extra kernel-shard workers (0: 2x workers; negative disables sharding)")
 	dataDir := fs.String("data-dir", "", "crash-safety root: job journal + result store (empty: memory-only)")
 	segBytes := fs.Int64("journal-segment", 0, "journal segment rotation size in bytes (0: 1 MiB)")
+	pprofPort := fs.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:<port> (0 disables)")
 	fs.Parse(os.Args[1:])
+
+	if *pprofPort != 0 {
+		// Profiling stays on loopback, on its own listener and mux, so it
+		// is never reachable through the public job endpoint.
+		paddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
+		go func() {
+			fmt.Fprintf(os.Stderr, "tsimd: pprof on http://%s/debug/pprof/\n", paddr)
+			if err := http.ListenAndServe(paddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tsimd: pprof:", err)
+			}
+		}()
+	}
 
 	srv, err := serve.Open(serve.Options{
 		Queue:        *queue,

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"tseries/internal/memory"
+	"tseries/internal/stats"
+	"tseries/internal/workloads"
+)
+
+// E20LatticeScaling runs the 4-D lattice workload — the QCD-shaped
+// computation the T Series' contemporaries (Columbia's lattice engines,
+// and later QCDSP) were built around — across machine sizes up to the
+// paper's maximum usable configuration, the 12-cube with 4096 nodes,
+// and records the two classic scaling curves:
+//
+//   - weak scaling: 16 lattice sites per node at every size (N grows
+//     with the machine: 4^4 on the 4-cube, 8^4 on the 8-cube, 16^4 on
+//     the 12-cube), so ideal behavior is constant elapsed time;
+//   - strong scaling: a fixed 8^4 lattice spread over more nodes, so
+//     ideal behavior is elapsed time halving per added dimension.
+//
+// Every run is verified bit-for-bit against the host reference, and the
+// experiment also records what makes the 4096-node run feasible at all:
+// the sparse row store materializes only the rows the field occupies
+// (two per node on the 12-cube) out of the 1024 rows each node
+// configures.
+func E20LatticeScaling(ctx context.Context) (*Result, error) {
+	r := newResult("E20", "12-cube lattice scaling: weak/strong curves on sparse node memory")
+
+	t := stats.NewTable("4-D lattice Jacobi, 4 sweeps, bitwise-verified",
+		"curve", "dim", "nodes", "lattice", "sites/node", "elapsed (ms)", "efficiency", "rows/node", "resident (MB)")
+
+	run := func(dim, side int) (workloads.LatticeResult, error) {
+		res, err := workloads.DistributedLattice4D(ctx, dim, side, 4, 1)
+		if err != nil {
+			return res, err
+		}
+		want := workloads.HostLattice4D(side, 4, 1)
+		for i := range want {
+			if res.Field[i] != want[i] {
+				return res, fmt.Errorf("E20: dim %d side %d differs from reference at site %d", dim, side, i)
+			}
+		}
+		if res.Mem.RowsMaterialized >= res.Mem.RowsConfigured/4 {
+			return res, fmt.Errorf("E20: dim %d materialized %d of %d rows — store is not sparse",
+				dim, res.Mem.RowsMaterialized, res.Mem.RowsConfigured)
+		}
+		return res, nil
+	}
+	add := func(curve string, res workloads.LatticeResult, eff float64) {
+		t.Add(curve, res.Dim, res.Nodes, fmt.Sprintf("%d^4", res.Side), res.Sites,
+			res.Elapsed.Seconds()*1e3, eff, res.Rows,
+			float64(res.Mem.MemResidentBytes)/(1<<20))
+	}
+
+	// Weak scaling: 16 sites per node; N^4 = 16·2^dim has integer N at
+	// dims 4, 8, 12.
+	weak := []struct{ dim, side int }{{4, 4}, {8, 8}, {12, 16}}
+	var weakBase workloads.LatticeResult
+	for i, w := range weak {
+		res, err := run(w.dim, w.side)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			weakBase = res
+		}
+		eff := weakBase.Elapsed.Seconds() / res.Elapsed.Seconds()
+		add("weak", res, eff)
+		r.Metrics[fmt.Sprintf("weak_eff_dim%d", res.Dim)] = eff
+		if res.Dim == 12 {
+			r.Metrics["dim12_rows_per_node"] = res.Rows
+			r.Metrics["dim12_resident_mb"] = float64(res.Mem.MemResidentBytes) / (1 << 20)
+			r.Metrics["dim12_configured_mb"] = float64(res.Mem.RowsConfigured*memory.RowBytes) / (1 << 20)
+		}
+	}
+
+	// Strong scaling: the same 8^4 lattice on ever more nodes.
+	strong := []int{4, 6, 8, 10}
+	var strongBase workloads.LatticeResult
+	for i, dim := range strong {
+		res, err := run(dim, 8)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			strongBase = res
+		}
+		speedup := strongBase.Elapsed.Seconds() / res.Elapsed.Seconds()
+		eff := speedup * float64(strongBase.Nodes) / float64(res.Nodes)
+		add("strong", res, eff)
+		r.Metrics[fmt.Sprintf("strong_eff_dim%d", dim)] = eff
+	}
+
+	r.Table = t
+	r.note("weak curve: 16 sites/node at every size; elapsed grows only with halo latency (log-diameter hops), the Columbia/QCDSP-style production regime")
+	r.note("strong curve: fixed 8^4 lattice; efficiency falls as blocks shrink to 4 sites/node on the 10-cube and halo exchange dominates — the paper's 'balance' argument seen from the application side")
+	r.note("the 12-cube instantiates 4096 nodes (512 modules = 512 logical shards) and runs because node stores are sparse: 2 rows/node materialized of 1024 configured (9 MB resident of 4 GB addressed)")
+	return r, nil
+}
+
+func init() {
+	register("E20", "12-cube lattice scaling: weak/strong curves on sparse node memory (§III)", E20LatticeScaling)
+}

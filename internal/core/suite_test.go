@@ -15,7 +15,7 @@ import (
 func TestRegistryOrder(t *testing.T) {
 	want := []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
 		"A1", "A2", "A3", "A4", "A5", "A6",
 	}
 	if got := IDs(); !reflect.DeepEqual(got, want) {

@@ -8,6 +8,11 @@
 // an entire row to or from a vector register in 400 ns (2560 MB/s). The
 // two banks feed the arithmetic pipelines with two operands per 125 ns
 // cycle. One parity bit guards each byte.
+//
+// On the host the store is sparse: rows are materialized on first write
+// and unwritten rows are served from a shared zero row (sparse.go), so
+// a 4096-node machine costs megabytes, not gigabytes, until programs
+// actually touch their memory.
 package memory
 
 import (
@@ -70,8 +75,10 @@ func (e *ParityError) Error() string {
 // appropriate port; Peek/Poke variants are untimed for test and workload
 // setup (they model the state a program would have built earlier).
 type Memory struct {
-	data   []byte
-	parity []byte // one parity bit per byte, bit-packed (see parity.go)
+	// rows holds the 1024 row chunks, materialized lazily: a nil entry
+	// is a row that has never been written and reads as zeroes. See
+	// sparse.go for the representation invariants.
+	rows []*rowChunk
 
 	// faulted counts FlipBit calls. While zero (the universal case
 	// outside fault experiments) every stored parity bit is known to
@@ -88,14 +95,19 @@ type Memory struct {
 	// Counters for the bandwidth experiments.
 	WordReads, WordWrites int64
 	RowLoads, RowStores   int64
+
+	// Sparse-store counters (sparse.go): resident row chunks, and
+	// write-triggered copies of the shared zero row.
+	materialized int64
+	cowCopies    int64
 }
 
 // New allocates a node memory attached to kernel k. The name
-// distinguishes nodes in multi-node machines.
+// distinguishes nodes in multi-node machines. No row storage is
+// allocated until a row is first written.
 func New(k *sim.Kernel, name string) *Memory {
 	m := &Memory{
-		data:   make([]byte, Bytes),
-		parity: make([]byte, Bytes/8),
+		rows: make([]*rowChunk, NumRows),
 	}
 	m.wordPort = sim.NewResource(k, name+"/wordport", 1)
 	m.bankPort[BankA] = sim.NewResource(k, name+"/bankA", 1)
@@ -105,8 +117,11 @@ func New(k *sim.Kernel, name string) *Memory {
 
 // FlipBit corrupts one data bit without updating parity, modelling a
 // transient DRAM fault; the next read of that byte reports a ParityError.
+// A fault in a never-written row materializes it first — the hardware's
+// DRAM exists (and rots) whether or not the program has stored to it.
 func (m *Memory) FlipBit(addr int, bit uint) {
-	m.data[addr] ^= 1 << (bit % 8)
+	c := m.writableRow(addr >> rowShift)
+	c.data[addr&rowMask] ^= 1 << (bit % 8)
 	m.faulted++
 }
 
@@ -117,28 +132,34 @@ func (m *Memory) FlipBit(addr int, bit uint) {
 // single summary byte, updated in one masked merge.
 func (m *Memory) PokeWord(w int, v uint32) {
 	a := w * 4
-	binary.LittleEndian.PutUint32(m.data[a:], v)
+	c := m.writableRow(a >> rowShift)
+	off := a & rowMask
+	binary.LittleEndian.PutUint32(c.data[off:], v)
 	sh := uint(a % 8) // 0 or 4
 	mask := byte(0x0F << sh)
-	m.parity[a/8] = m.parity[a/8]&^mask | parityNibbleOf(v)<<sh
+	c.par[off>>3] = c.par[off>>3]&^mask | parityNibbleOf(v)<<sh
 }
 
 // PeekWord loads the 32-bit word at word index w without consuming time.
 func (m *Memory) PeekWord(w int) uint32 {
-	return binary.LittleEndian.Uint32(m.data[w*4:])
+	a := w * 4
+	return binary.LittleEndian.Uint32(m.row(a >> rowShift).data[a&rowMask:])
 }
 
 // PokeF64 stores a 64-bit float at 64-bit element index e. The eight
 // bytes cover exactly one parity summary byte.
 func (m *Memory) PokeF64(e int, v fparith.F64) {
 	a := e * 8
-	binary.LittleEndian.PutUint64(m.data[a:], uint64(v))
-	m.parity[a/8] = parityByteOf(uint64(v))
+	c := m.writableRow(a >> rowShift)
+	off := a & rowMask
+	binary.LittleEndian.PutUint64(c.data[off:], uint64(v))
+	c.par[off>>3] = parityByteOf(uint64(v))
 }
 
 // PeekF64 loads the 64-bit float at 64-bit element index e.
 func (m *Memory) PeekF64(e int) fparith.F64 {
-	return fparith.F64(binary.LittleEndian.Uint64(m.data[e*8:]))
+	a := e * 8
+	return fparith.F64(binary.LittleEndian.Uint64(m.row(a >> rowShift).data[a&rowMask:]))
 }
 
 // PokeF32 stores a 32-bit float at 32-bit element index e.
@@ -190,33 +211,57 @@ func (m *Memory) Write64(p *sim.Proc, e int, v fparith.F64) {
 
 // PokeByte stores one byte (untimed, parity updated).
 func (m *Memory) PokeByte(addr int, v byte) {
-	m.data[addr] = v
+	c := m.writableRow(addr >> rowShift)
+	off := addr & rowMask
+	c.data[off] = v
 	p := byte(bits.OnesCount8(v) & 1)
-	idx, bit := addr/8, uint(addr%8)
-	m.parity[idx] = m.parity[idx]&^(1<<bit) | p<<bit
+	idx, bit := off>>3, uint(off&7)
+	c.par[idx] = c.par[idx]&^(1<<bit) | p<<bit
 }
 
 // PeekByte loads one byte (untimed, no parity check).
-func (m *Memory) PeekByte(addr int) byte { return m.data[addr] }
+func (m *Memory) PeekByte(addr int) byte {
+	return m.row(addr >> rowShift).data[addr&rowMask]
+}
 
 // PokeBytes stores a block (untimed) — program loading, DMA completion.
+// An all-zero store into a never-written row is elided: the row already
+// holds exactly those bytes, so snapshot restores of untouched memory
+// stay allocation-free.
 func (m *Memory) PokeBytes(addr int, b []byte) {
-	copy(m.data[addr:addr+len(b)], b)
-	m.refreshParity(addr, len(b))
+	for len(b) > 0 {
+		row, off := addr>>rowShift, addr&rowMask
+		seg := RowBytes - off
+		if seg > len(b) {
+			seg = len(b)
+		}
+		if m.rows[row] != nil || !allZero(b[:seg]) {
+			c := m.writableRow(row)
+			copy(c.data[off:off+seg], b[:seg])
+			refreshChunkParity(c, off, seg)
+		}
+		addr += seg
+		b = b[seg:]
+	}
 }
 
 // PeekBytes copies a block out (untimed).
 func (m *Memory) PeekBytes(addr, n int) []byte {
 	out := make([]byte, n)
-	copy(out, m.data[addr:addr+n])
+	for i := 0; i < n; {
+		a := addr + i
+		row, off := a>>rowShift, a&rowMask
+		seg := RowBytes - off
+		if seg > n-i {
+			seg = n - i
+		}
+		if c := m.rows[row]; c != nil {
+			copy(out[i:i+seg], c.data[off:off+seg])
+		}
+		i += seg
+	}
 	return out
 }
 
 // RowAddr returns the first byte address of a row.
 func RowAddr(row int) int { return row * RowBytes }
-
-// rowSlice returns the backing bytes of a row.
-func (m *Memory) rowSlice(row int) []byte {
-	a := RowAddr(row)
-	return m.data[a : a+RowBytes]
-}

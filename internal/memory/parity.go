@@ -6,17 +6,20 @@ import (
 )
 
 // Parity engine. One parity bit guards each byte of the store; the bits
-// are packed eight to a byte in m.parity, so the parity byte at index i
-// summarises the eight data bytes at addresses 8i..8i+7 (bit b of the
-// summary is the parity of data byte 8i+b). All maintenance is done a
-// word at a time: writes fold the parity of eight (or four) bytes in a
-// handful of ALU ops, and validation compares whole summary bytes,
-// falling back to a per-bit scan only to localise a detected fault.
+// are packed eight to a byte in each row chunk's par array, so the
+// parity byte at row-local index i summarises the eight data bytes at
+// row-local offsets 8i..8i+7 (bit b of the summary is the parity of
+// data byte 8i+b). All maintenance is done a word at a time: writes
+// fold the parity of eight (or four) bytes in a handful of ALU ops, and
+// validation compares whole summary bytes, falling back to a per-bit
+// scan only to localise a detected fault.
 //
 // m.faulted counts FlipBit calls. While it is zero — the universal case
 // outside fault-injection experiments — every byte's stored parity is
 // known to match its data (all write paths restore it), so reads skip
-// validation entirely and a row load is a plain copy.
+// validation entirely and a row load is a plain copy. Unmaterialized
+// rows are zero data with zero parity — consistent by construction —
+// and FlipBit materializes before corrupting, so validation skips them.
 
 // parityByteOf folds one 64-bit little-endian data word into its parity
 // summary byte: bit b is the (odd) parity of byte b of w. The xor ladder
@@ -40,70 +43,99 @@ func parityNibbleOf(w uint32) byte {
 	return byte((w & 0x01010101) * 0x01020408 >> 24)
 }
 
-// refreshParity recomputes the stored parity summaries for the data
-// bytes in [addr, addr+n), leaving bits that guard bytes outside the
-// range untouched. Interior 8-byte groups cost one load and one
-// parityByteOf each.
-func (m *Memory) refreshParity(addr, n int) {
+// refreshChunkParity recomputes the stored parity summaries for the
+// data bytes at row-local offsets [off, off+n) of chunk c, leaving bits
+// that guard bytes outside the range untouched. Interior 8-byte groups
+// cost one load and one parityByteOf each.
+func refreshChunkParity(c *rowChunk, off, n int) {
 	if n <= 0 {
 		return
 	}
-	end := addr + n
-	if r := addr % 8; r != 0 {
-		g := addr - r
+	// Work on slices of the chunk arrays: slicing a fixed-size array
+	// through the pointer inside the loop would re-derive bounds and
+	// re-check nil-ness every iteration.
+	data, par := c.data[:], c.par[:]
+	end := off + n
+	if r := off % 8; r != 0 {
+		g := off - r
 		stop := min(g+8, end)
-		m.patchParity(g, r, stop-g)
-		addr = stop
+		patchChunkParity(c, g, r, stop-g)
+		off = stop
 	}
-	for ; addr+8 <= end; addr += 8 {
-		m.parity[addr/8] = parityByteOf(binary.LittleEndian.Uint64(m.data[addr:]))
+	for ; off+8 <= end; off += 8 {
+		par[off>>3] = parityByteOf(binary.LittleEndian.Uint64(data[off:]))
 	}
-	if addr < end {
-		m.patchParity(addr, 0, end-addr)
+	if off < end {
+		patchChunkParity(c, off, 0, end-off)
 	}
 }
 
-// patchParity recomputes parity bits [lo, hi) of the summary byte that
-// guards the 8-byte group starting at g (g must be 8-aligned).
-func (m *Memory) patchParity(g, lo, hi int) {
-	p := parityByteOf(binary.LittleEndian.Uint64(m.data[g:]))
+// patchChunkParity recomputes parity bits [lo, hi) of the summary byte
+// that guards the 8-byte group starting at row-local offset g (g must
+// be 8-aligned).
+func patchChunkParity(c *rowChunk, g, lo, hi int) {
+	p := parityByteOf(binary.LittleEndian.Uint64(c.data[g:]))
 	mask := byte(1<<uint(hi)-1) &^ byte(1<<uint(lo)-1)
-	m.parity[g/8] = m.parity[g/8]&^mask | p&mask
+	c.par[g>>3] = c.par[g>>3]&^mask | p&mask
 }
 
-// validateRange compares the stored parity summaries against the data in
-// [addr, addr+n) and reports the first (lowest-address) mismatched byte
-// as a ParityError — the same fault a sequential per-byte check on the
-// hardware's row stream would flag first.
+// validateRange compares the stored parity summaries against the data
+// in absolute byte range [addr, addr+n) and reports the first
+// (lowest-address) mismatched byte as a ParityError — the same fault a
+// sequential per-byte check on the hardware's row stream would flag
+// first. Unmaterialized rows are consistent by construction and skip.
 func (m *Memory) validateRange(addr, n int) error {
-	end := addr + n
-	if r := addr % 8; r != 0 {
-		g := addr - r
-		stop := min(g+8, end)
-		if err := m.validateGroup(g, r, stop-g); err != nil {
-			return err
+	for n > 0 {
+		row, off := addr>>rowShift, addr&rowMask
+		seg := RowBytes - off
+		if seg > n {
+			seg = n
 		}
-		addr = stop
-	}
-	for ; addr+8 <= end; addr += 8 {
-		if m.parity[addr/8] != parityByteOf(binary.LittleEndian.Uint64(m.data[addr:])) {
-			return m.validateGroup(addr, 0, 8)
+		if c := m.rows[row]; c != nil {
+			if err := validateChunk(c, addr-off, off, seg); err != nil {
+				return err
+			}
 		}
-	}
-	if addr < end {
-		return m.validateGroup(addr, 0, end-addr)
+		addr += seg
+		n -= seg
 	}
 	return nil
 }
 
-// validateGroup checks parity bits [lo, hi) of the group at g (8-aligned)
-// and localises the lowest mismatched byte.
-func (m *Memory) validateGroup(g, lo, hi int) error {
-	p := parityByteOf(binary.LittleEndian.Uint64(m.data[g:]))
+// validateChunk checks row-local offsets [off, off+n) of chunk c;
+// rowBase is the row's absolute first byte address, used to report the
+// fault's absolute location.
+func validateChunk(c *rowChunk, rowBase, off, n int) error {
+	data, par := c.data[:], c.par[:]
+	end := off + n
+	if r := off % 8; r != 0 {
+		g := off - r
+		stop := min(g+8, end)
+		if err := validateChunkGroup(c, rowBase, g, r, stop-g); err != nil {
+			return err
+		}
+		off = stop
+	}
+	for ; off+8 <= end; off += 8 {
+		if par[off>>3] != parityByteOf(binary.LittleEndian.Uint64(data[off:])) {
+			return validateChunkGroup(c, rowBase, off, 0, 8)
+		}
+	}
+	if off < end {
+		return validateChunkGroup(c, rowBase, off, 0, end-off)
+	}
+	return nil
+}
+
+// validateChunkGroup checks parity bits [lo, hi) of the group at
+// row-local offset g (8-aligned) and localises the lowest mismatched
+// byte.
+func validateChunkGroup(c *rowChunk, rowBase, g, lo, hi int) error {
+	p := parityByteOf(binary.LittleEndian.Uint64(c.data[g:]))
 	mask := byte(1<<uint(hi)-1) &^ byte(1<<uint(lo)-1)
-	diff := (p ^ m.parity[g/8]) & mask
+	diff := (p ^ c.par[g>>3]) & mask
 	if diff == 0 {
 		return nil
 	}
-	return &ParityError{Addr: g + bits.TrailingZeros8(diff)}
+	return &ParityError{Addr: rowBase + g + bits.TrailingZeros8(diff)}
 }

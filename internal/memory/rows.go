@@ -11,12 +11,16 @@ import (
 // decode one element per closure call through PeekF64/PeekF32.
 //
 // On a little-endian host (every platform we run on in practice) a view
-// aliases the row's backing bytes directly: reads see the store, and
-// element writes land in place. On a big-endian host the view is a
+// aliases the row chunk's backing bytes directly: reads see the store,
+// and element writes land in place. On a big-endian host the view is a
 // decoded copy, and FlushRow* writes it back. Either way a caller that
 // writes through a view MUST call the matching FlushRow* afterwards —
 // it performs the big-endian write-back and restores the row's parity
 // summaries, which raw view writes bypass.
+//
+// Because a view is write-through, handing one out materializes the
+// row: the alternative — aliasing the shared zero chunk — would let a
+// view write corrupt every unmaterialized row in the machine.
 
 // hostLittleEndian reports whether the host lays integers out
 // little-endian, in which case views can alias the byte store.
@@ -27,26 +31,26 @@ var hostLittleEndian = func() bool {
 
 // RowF64s returns row `row` as its 128 64-bit elements.
 func (m *Memory) RowF64s(row int) []uint64 {
-	base := RowAddr(row)
+	c := m.writableRow(row)
 	if hostLittleEndian {
-		return unsafe.Slice((*uint64)(unsafe.Pointer(&m.data[base])), F64PerRow)
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&c.data[0])), F64PerRow)
 	}
 	out := make([]uint64, F64PerRow)
 	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(m.data[base+8*i:])
+		out[i] = binary.LittleEndian.Uint64(c.data[8*i:])
 	}
 	return out
 }
 
 // RowF32s returns row `row` as its 256 32-bit elements.
 func (m *Memory) RowF32s(row int) []uint32 {
-	base := RowAddr(row)
+	c := m.writableRow(row)
 	if hostLittleEndian {
-		return unsafe.Slice((*uint32)(unsafe.Pointer(&m.data[base])), F32PerRow)
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&c.data[0])), F32PerRow)
 	}
 	out := make([]uint32, F32PerRow)
 	for i := range out {
-		out[i] = binary.LittleEndian.Uint32(m.data[base+4*i:])
+		out[i] = binary.LittleEndian.Uint32(c.data[4*i:])
 	}
 	return out
 }
@@ -57,22 +61,22 @@ func (m *Memory) RowF32s(row int) []uint32 {
 // the bytes covered by the written prefix (only those — a fault pending
 // elsewhere in the row must stay detectable).
 func (m *Memory) FlushRowF64s(row int, s []uint64, n int) {
-	base := RowAddr(row)
-	if n > 0 && unsafe.Pointer(&s[0]) != unsafe.Pointer(&m.data[base]) {
+	c := m.writableRow(row)
+	if n > 0 && unsafe.Pointer(&s[0]) != unsafe.Pointer(&c.data[0]) {
 		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint64(m.data[base+8*i:], s[i])
+			binary.LittleEndian.PutUint64(c.data[8*i:], s[i])
 		}
 	}
-	m.refreshParity(base, 8*n)
+	refreshChunkParity(c, 0, 8*n)
 }
 
 // FlushRowF32s is the 32-bit counterpart of FlushRowF64s.
 func (m *Memory) FlushRowF32s(row int, s []uint32, n int) {
-	base := RowAddr(row)
-	if n > 0 && unsafe.Pointer(&s[0]) != unsafe.Pointer(&m.data[base]) {
+	c := m.writableRow(row)
+	if n > 0 && unsafe.Pointer(&s[0]) != unsafe.Pointer(&c.data[0]) {
 		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint32(m.data[base+4*i:], s[i])
+			binary.LittleEndian.PutUint32(c.data[4*i:], s[i])
 		}
 	}
-	m.refreshParity(base, 4*n)
+	refreshChunkParity(c, 0, 4*n)
 }

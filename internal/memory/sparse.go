@@ -1,0 +1,119 @@
+package memory
+
+// Sparse row store. A node's 1 MB is modelled as 1024 independently
+// allocated row chunks so host footprint scales with the rows a program
+// actually touches, not with the configured size — the difference
+// between a 12-cube needing >4.5 GB before the first event fires and
+// one needing a few megabytes. The simulated machine is unchanged: the
+// hardware always has all 1024 rows, and every timed operation charges
+// the same port time whether or not the host has materialized the row.
+//
+// Representation invariants:
+//
+//   - m.rows[r] == nil means row r has never been written. Its content
+//     is all-zero bytes with all-zero parity summaries — exactly the
+//     shared zeroChunk — and it can hold no fault (FlipBit materializes
+//     before corrupting), so validation skips it.
+//   - Reads of an unmaterialized row are served from &zeroChunk; no
+//     read ever materializes a row (typed row views are the exception:
+//     they are write-through aliases, so handing one out must
+//     materialize).
+//   - Any write path copies the zero row into a private chunk first
+//     (copy-on-write of the shared zero page) via writableRow. The
+//     shared zeroChunk itself is never written.
+type rowChunk struct {
+	data [RowBytes]byte
+	par  [RowBytes / 8]byte // one parity bit per byte, bit-packed
+}
+
+// Row addressing: addr>>rowShift is the row, addr&rowMask the offset
+// within it.
+const (
+	rowShift = 10
+	rowMask  = RowBytes - 1
+)
+
+// zeroChunk backs every unmaterialized row's reads. A zero byte has
+// even (0) parity, so the all-zero parity summaries are consistent.
+var zeroChunk rowChunk
+
+// row returns the chunk backing a row for reading; unmaterialized rows
+// read from the shared zero chunk.
+func (m *Memory) row(row int) *rowChunk {
+	if c := m.rows[row]; c != nil {
+		return c
+	}
+	return &zeroChunk
+}
+
+// writableRow returns the chunk backing a row for writing,
+// materializing a private copy of the zero row on first touch. The
+// cold path lives in materializeRow so this wrapper inlines into the
+// word/row accessors.
+func (m *Memory) writableRow(row int) *rowChunk {
+	if c := m.rows[row]; c != nil {
+		return c
+	}
+	return m.materializeRow(row)
+}
+
+// materializeRow performs the copy-on-write of the shared zero row: a
+// fresh chunk is already the zero row's content (zero data, zero
+// parity), so the "copy" is the allocation itself.
+func (m *Memory) materializeRow(row int) *rowChunk {
+	c := new(rowChunk)
+	m.rows[row] = c
+	m.materialized++
+	m.cowCopies++
+	return c
+}
+
+// MaterializeAll eagerly backs every row — the pre-sparse dense layout.
+// It exists as the dense fallback for differential tests and for
+// memory-layout experiments that want allocation out of the measured
+// region; production paths must never call it (a grep guard in
+// sparse_test.go enforces that no eager full-image allocation
+// reappears).
+func (m *Memory) MaterializeAll() {
+	for i := range m.rows {
+		if m.rows[i] == nil {
+			m.rows[i] = new(rowChunk)
+			m.materialized++
+		}
+	}
+}
+
+// MaterializedRows reports how many of the 1024 rows are resident on
+// the host (written at least once, or eagerly backed).
+func (m *Memory) MaterializedRows() int64 { return m.materialized }
+
+// CowCopies reports how many writes had to copy the shared zero row
+// into a private chunk (write-triggered materializations; eager
+// MaterializeAll backing is excluded).
+func (m *Memory) CowCopies() int64 { return m.cowCopies }
+
+// ResidentBytes is the host footprint of the materialized rows: data
+// plus parity summaries.
+func (m *Memory) ResidentBytes() int64 {
+	return m.materialized * (RowBytes + RowBytes/8)
+}
+
+// RowResident reports whether a row is materialized.
+func (m *Memory) RowResident(row int) bool { return m.rows[row] != nil }
+
+// allZero reports whether b contains only zero bytes (checked a word at
+// a time; b is at most one row).
+func allZero(b []byte) bool {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		if b[i]|b[i+1]|b[i+2]|b[i+3]|b[i+4]|b[i+5]|b[i+6]|b[i+7] != 0 {
+			return false
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -25,12 +25,18 @@ func (m *Memory) LoadRow(p *sim.Proc, row int, r *VectorReg) error {
 	}
 	m.bankPort[BankOf(row)].Use(p, sim.RowAccess)
 	m.RowLoads++
+	c := m.rows[row]
+	if c == nil {
+		// Unmaterialized rows read as zeroes and can hold no fault.
+		copy(r.buf[:], zeroChunk.data[:])
+		return nil
+	}
 	if m.faulted != 0 {
-		if err := m.validateRange(RowAddr(row), RowBytes); err != nil {
+		if err := validateChunk(c, RowAddr(row), 0, RowBytes); err != nil {
 			return err
 		}
 	}
-	copy(r.buf[:], m.rowSlice(row))
+	copy(r.buf[:], c.data[:])
 	return nil
 }
 
@@ -42,8 +48,9 @@ func (m *Memory) StoreRow(p *sim.Proc, row int, r *VectorReg) error {
 	}
 	m.bankPort[BankOf(row)].Use(p, sim.RowAccess)
 	m.RowStores++
-	copy(m.rowSlice(row), r.buf[:])
-	m.refreshParity(RowAddr(row), RowBytes)
+	c := m.writableRow(row)
+	copy(c.data[:], r.buf[:])
+	refreshChunkParity(c, 0, RowBytes)
 	return nil
 }
 

@@ -119,7 +119,7 @@ func (m *Module) BackupLastSnapshot(p *sim.Proc) error {
 	for _, as := range m.activeSlots() {
 		for seq := 0; seq < chunksPerNode; seq++ {
 			key := snapKey(snap.ID, as.img, seq)
-			data, ok := m.Disk.blocks[key]
+			data, ok := m.Disk.Peek(key)
 			if !ok {
 				return fmt.Errorf("module %d: snapshot block %s missing", m.Index, key)
 			}

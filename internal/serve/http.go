@@ -208,6 +208,17 @@ type Stats struct {
 	SimWindows    int64 `json:"sim_windows"`
 	SimCrossShard int64 `json:"sim_cross_shard"`
 
+	// Host-footprint totals across completed machine workloads: how many
+	// node-memory rows were materialized (of the machines' configured
+	// rows), how many writes copy-on-wrote the shared zero row, the
+	// resident bytes those rows cost the host, and how the system disks'
+	// checkpoint segments split between fresh copies and dedup hits.
+	MemRowsMaterialized int64 `json:"mem_rows_materialized"`
+	MemCowCopies        int64 `json:"mem_cow_copies"`
+	MemResidentBytes    int64 `json:"mem_resident_bytes"`
+	DiskRowsCopied      int64 `json:"disk_rows_copied"`
+	DiskRowsShared      int64 `json:"disk_rows_shared"`
+
 	// Durability: present (meaningful) only when the server runs with a
 	// data dir. Degraded means a disk failure flipped the service to
 	// in-memory mode — it keeps serving, but accepted jobs and results no
@@ -237,29 +248,35 @@ func (s *Server) Snapshot() Stats {
 	inUse := s.shardInUse
 	s.shardMu.Unlock()
 	st := Stats{
-		ShardBudget:       s.opts.ShardBudget,
-		ShardInUse:        inUse,
-		ShardDegraded:     s.ctr.shardDegraded.Load(),
-		SimEvents:         s.ctr.simEvents.Load(),
-		SimWindows:        s.ctr.simWindows.Load(),
-		SimCrossShard:     s.ctr.simCrossShard.Load(),
-		Admitted:          s.ctr.admitted.Load(),
-		Deduped:           s.ctr.deduped.Load(),
-		CacheHits:         s.ctr.cacheHits.Load(),
-		CacheMisses:       s.ctr.cacheMisses.Load(),
-		CacheEntries:      s.cache.len(),
-		RejectedQueueFull: s.ctr.rejectedQueueFull.Load(),
-		RejectedRate:      s.ctr.rejectedRate.Load(),
-		RejectedQuota:     s.ctr.rejectedQuota.Load(),
-		RejectedDraining:  s.ctr.rejectedDraining.Load(),
-		Completed:         s.ctr.completed.Load(),
-		Failed:            s.ctr.failed.Load(),
-		Timeouts:          s.ctr.timeouts.Load(),
-		Canceled:          s.ctr.canceled.Load(),
-		Panics:            s.ctr.panics.Load(),
-		Retries:           s.ctr.retries.Load(),
-		QueueDepth:        len(s.queue),
-		Draining:          s.Draining(),
+		ShardBudget:   s.opts.ShardBudget,
+		ShardInUse:    inUse,
+		ShardDegraded: s.ctr.shardDegraded.Load(),
+		SimEvents:     s.ctr.simEvents.Load(),
+		SimWindows:    s.ctr.simWindows.Load(),
+		SimCrossShard: s.ctr.simCrossShard.Load(),
+
+		MemRowsMaterialized: s.ctr.memRowsMaterialized.Load(),
+		MemCowCopies:        s.ctr.memCowCopies.Load(),
+		MemResidentBytes:    s.ctr.memResidentBytes.Load(),
+		DiskRowsCopied:      s.ctr.diskRowsCopied.Load(),
+		DiskRowsShared:      s.ctr.diskRowsShared.Load(),
+		Admitted:            s.ctr.admitted.Load(),
+		Deduped:             s.ctr.deduped.Load(),
+		CacheHits:           s.ctr.cacheHits.Load(),
+		CacheMisses:         s.ctr.cacheMisses.Load(),
+		CacheEntries:        s.cache.len(),
+		RejectedQueueFull:   s.ctr.rejectedQueueFull.Load(),
+		RejectedRate:        s.ctr.rejectedRate.Load(),
+		RejectedQuota:       s.ctr.rejectedQuota.Load(),
+		RejectedDraining:    s.ctr.rejectedDraining.Load(),
+		Completed:           s.ctr.completed.Load(),
+		Failed:              s.ctr.failed.Load(),
+		Timeouts:            s.ctr.timeouts.Load(),
+		Canceled:            s.ctr.canceled.Load(),
+		Panics:              s.ctr.panics.Load(),
+		Retries:             s.ctr.retries.Load(),
+		QueueDepth:          len(s.queue),
+		Draining:            s.Draining(),
 	}
 	if d := s.dur; d != nil {
 		st.Durable = true

@@ -192,6 +192,14 @@ type counters struct {
 	simEvents         atomic.Int64 // kernel events executed by completed workload runs
 	simWindows        atomic.Int64 // conservative windows executed by sharded runs
 	simCrossShard     atomic.Int64 // events staged across shard boundaries
+
+	// Host-footprint totals across completed machine workloads: sparse
+	// node-memory residency and checkpoint dedup on the system disks.
+	memRowsMaterialized atomic.Int64
+	memCowCopies        atomic.Int64
+	memResidentBytes    atomic.Int64
+	diskRowsCopied      atomic.Int64
+	diskRowsShared      atomic.Int64
 }
 
 // Server is the job service: admission control in front of a bounded
@@ -549,6 +557,13 @@ func (s *Server) execute(ctx context.Context, j *job) (body []byte, err error) {
 		s.ctr.simEvents.Add(rep.Kernel.Events)
 		s.ctr.simWindows.Add(rep.Kernel.Windows)
 		s.ctr.simCrossShard.Add(rep.Kernel.CrossShard)
+		if mem := rep.Mem; mem != nil {
+			s.ctr.memRowsMaterialized.Add(mem.RowsMaterialized)
+			s.ctr.memCowCopies.Add(mem.CowCopies)
+			s.ctr.memResidentBytes.Add(mem.MemResidentBytes)
+			s.ctr.diskRowsCopied.Add(mem.DiskRowsCopied)
+			s.ctr.diskRowsShared.Add(mem.DiskRowsShared)
+		}
 		return encodeBody(rep)
 	case "experiment":
 		r, err := j.task.exp.Run(ctx)

@@ -53,6 +53,9 @@ type RecoveryResult struct {
 	// PayloadBytes is the useful (application-level) exchange traffic;
 	// PayloadBytes/Elapsed is the run's goodput.
 	PayloadBytes int64
+	// Mem is the machine's host-footprint report: sparse node-memory
+	// residency and the system disks' checkpoint dedup counters.
+	Mem machine.MemStats
 	// Stats carries the engine metrics at completion.
 	Stats sim.Stats
 }
@@ -70,6 +73,8 @@ func init() {
 		rep.Metrics["rollbacks"] = float64(res.Rollbacks)
 		rep.Metrics["recovery_ms"] = float64(res.Recovery) / float64(sim.Millisecond)
 		rep.Metrics["goodput_mbps"] = res.GoodputMBps()
+		mem := res.Mem
+		rep.Mem = &mem
 		if !res.Correct {
 			return rep, fmt.Errorf("workloads: recovery run finished with corrupted state")
 		}
@@ -135,6 +140,7 @@ func FaultTolerantSAXPY(ctx context.Context, dim, phases, rowsPerPhase int, phas
 		Checkpoints: m.Modules[0].SnapshotsTaken,
 		Recovery:    sv.LastRecovery,
 		Faults:      m.FaultReport(plan, sv),
+		Mem:         m.MemStats(),
 		Stats:       m.SimStats(),
 	}
 	if dim > 0 {

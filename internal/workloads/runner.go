@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"tseries/internal/fault"
+	"tseries/internal/machine"
 	"tseries/internal/sim"
 	"tseries/internal/stats"
 )
@@ -112,6 +113,14 @@ type Report struct {
 	Metrics  map[string]float64 // workload-specific named scalars
 	Kernel   sim.Stats          // engine metrics: events, parks, resource utilization
 	Summary  string             // one-line human-readable result
+
+	// Mem carries the machine's host-footprint counters (sparse node
+	// memory, dedup'd disk) for workloads that run on a full machine;
+	// nil for workloads that report only kernel statistics. It rides
+	// outside Metrics so aggregators (the tsimd stats endpoint) get
+	// typed integers rather than formatted floats, and outside String()
+	// so run output stays byte-stable.
+	Mem *machine.MemStats `json:"mem,omitempty"`
 }
 
 // MFLOPS is the achieved aggregate arithmetic rate.

@@ -15,7 +15,7 @@ func smallConfig() Config {
 }
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"dlu", "fft", "lu", "matmul", "pring", "recovery", "saxpy", "soak", "solve", "sort", "stencil"}
+	want := []string{"dlu", "fft", "lattice", "lu", "matmul", "pring", "recovery", "saxpy", "soak", "solve", "sort", "stencil"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}

@@ -80,7 +80,10 @@ type SoakResult struct {
 	Checkpoints  int
 	HealLog      []string
 	Faults       stats.FaultCounters
-	Stats        sim.Stats
+	// Mem is the machine's host-footprint report: sparse node-memory
+	// residency and the system disks' checkpoint dedup counters.
+	Mem   machine.MemStats
+	Stats sim.Stats
 	// LeakedProcs is Spawned − Finished − live daemons at exit; the
 	// epoch invariant demands zero.
 	LeakedProcs int64
@@ -113,6 +116,8 @@ func init() {
 		rep.Metrics["detect_ms"] = float64(res.DetectAvg) / float64(sim.Millisecond)
 		rep.Metrics["recovery_ms"] = float64(res.LastRecovery) / float64(sim.Millisecond)
 		rep.Metrics["checkpoints"] = float64(res.Checkpoints)
+		mem := res.Mem
+		rep.Mem = &mem
 		if !res.Correct {
 			return rep, fmt.Errorf("workloads: soak diverged from fault-free golden (got %#x, want %#x)", res.Fingerprint, res.Golden)
 		}
@@ -224,6 +229,7 @@ func soakRun(ctx context.Context, params SoakParams, plan *fault.Plan) (SoakResu
 		Checkpoints:  m.Modules[0].SnapshotsTaken,
 		HealLog:      append([]string(nil), h.Events...),
 		Faults:       m.FaultReport(plan, sv),
+		Mem:          m.MemStats(),
 		Stats:        ks,
 	}
 	if res.DetectEvents > 0 {

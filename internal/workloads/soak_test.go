@@ -35,6 +35,19 @@ func TestSoakFaultFree(t *testing.T) {
 	if res.Fingerprint != res.Golden {
 		t.Fatalf("fault-free run is its own golden, got %#x vs %#x", res.Fingerprint, res.Golden)
 	}
+	// The host footprint stays sparse even though every node computed and
+	// the modules checkpointed: only touched rows are resident, and the
+	// snapshots' untouched-memory chunks cost nothing at rest.
+	m := res.Mem
+	if m.RowsMaterialized == 0 || m.RowsMaterialized >= m.RowsConfigured/4 {
+		t.Fatalf("materialized %d of %d rows, want sparse (under a quarter)", m.RowsMaterialized, m.RowsConfigured)
+	}
+	if m.DiskRowsZero == 0 {
+		t.Fatalf("checkpoints elided no all-zero segments: %+v", m)
+	}
+	if m.DiskResidentBytes >= m.DiskLogicalBytes {
+		t.Fatalf("disk resident %d ≥ logical %d: dedup did nothing", m.DiskResidentBytes, m.DiskLogicalBytes)
+	}
 }
 
 // TestSoakSilentCrashHealsViaHeartbeats is the acceptance scenario: a
